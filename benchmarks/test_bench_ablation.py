@@ -1,0 +1,13 @@
+"""Benchmark E-ABL: the proof-of-knowledge / identity-tag ablation."""
+
+from repro.experiments.ablation import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_ablation(benchmark, bench_config):
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["naive (no PoK, no tag)"] == 1.0
+    assert result.data["gennaro (NIZK PoK + tag)"] == 0.0
+    assert result.data["chor-rabin (interactive PoK + tag)"] == 0.0

@@ -1,0 +1,12 @@
+"""Benchmark E-APB: the Appendix B characterizations (G*, G** vs G)."""
+
+from repro.experiments.appendix_b import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_appendix_b(benchmark, bench_config):
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["b3_equivalence"]
+    assert result.data["b4_implication"]

@@ -1,0 +1,13 @@
+"""Benchmark E-C56: regenerate and verify E-C56 at bench scale."""
+
+from repro.experiments.claim56 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_claim56(benchmark, bench_config):
+    """E-C56 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["monotone"]
+    assert all(result.data["witnesses"].values())

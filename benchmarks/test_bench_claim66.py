@@ -1,0 +1,14 @@
+"""Benchmark E-C66: regenerate and verify E-C66 at bench scale."""
+
+from repro.experiments.claim66 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_claim66(benchmark, bench_config):
+    """E-C66 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["all_zero"]
+    assert result.data["honest_pass_through"]
+    assert result.data["rigged_values_seen"] == [0, 1]

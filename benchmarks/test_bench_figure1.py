@@ -1,0 +1,16 @@
+"""Benchmark E-FIG1: regenerate and verify E-FIG1 at bench scale."""
+
+from repro.experiments.figure1 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_figure1(benchmark, bench_config):
+    """E-FIG1 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    arrows = result.data["arrows"]
+    assert arrows["Sb->CR"] is True
+    assert arrows["CR->Sb"] is False  # broken arrow (Proposition 6.3)
+    assert arrows["CR->G"] is True
+    assert arrows["G->CR"] is False  # broken arrow (Lemma 6.4)

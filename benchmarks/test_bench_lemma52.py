@@ -1,0 +1,14 @@
+"""Benchmark E-L52: regenerate and verify E-L52 at bench scale."""
+
+from repro.experiments.lemma52 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_lemma52(benchmark, bench_config):
+    """E-L52 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["all_violated"]
+    # The CR gap of correlated inputs is the covariance itself (~0.25).
+    assert all(gap > 0.2 for gap in result.data["gaps"].values())

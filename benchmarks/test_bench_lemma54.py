@@ -1,0 +1,13 @@
+"""Benchmark E-L54: regenerate and verify E-L54 at bench scale."""
+
+from repro.experiments.lemma54 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_lemma54(benchmark, bench_config):
+    """E-L54 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert min(result.data["bad_gaps"]) > 0.5
+    assert all(gap < 0.6 for gap in result.data["control_gaps"])

@@ -1,0 +1,13 @@
+"""Benchmark E-L61: regenerate and verify E-L61 at bench scale."""
+
+from repro.experiments.lemma61 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_lemma61(benchmark, bench_config):
+    """E-L61 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["forward_ok"]
+    assert result.data["contrapositive_ok"]

@@ -1,0 +1,15 @@
+"""Benchmark E-L62: regenerate and verify E-L62 at bench scale."""
+
+from repro.experiments.lemma62 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_lemma62(benchmark, bench_config):
+    """E-L62 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    # The A.2 construction predicts a CR gap of p(1-p) x (G** gap) = 0.25.
+    assert result.data["predicted_cr_gap"] == 0.25
+    assert result.data["cr_gap_under_d_prime"] >= 0.2
+    assert result.data["d_prime_in_dg"]

@@ -1,0 +1,13 @@
+"""Benchmark E-L64: regenerate and verify E-L64 at bench scale."""
+
+from repro.experiments.lemma64 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_lemma64(benchmark, bench_config):
+    """E-L64 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["g_ok"]
+    assert result.data["cr_broken"]

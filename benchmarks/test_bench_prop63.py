@@ -1,0 +1,13 @@
+"""Benchmark E-P63: regenerate and verify E-P63 at bench scale."""
+
+from repro.experiments.prop63 import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_prop63(benchmark, bench_config):
+    """E-P63 — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["cr_all_trivial"]
+    assert result.data["sb_gap"] > 0.9  # the copier is fully exposed by Sb

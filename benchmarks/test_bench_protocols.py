@@ -1,0 +1,38 @@
+"""Micro-benchmarks: single-execution latency of every protocol.
+
+Not a paper table, but the cost model behind every experiment's sample
+budget — and a regression guard for the substrate (crypto + network)
+performance.
+"""
+
+import pytest
+
+from repro.protocols import (
+    CGMABroadcast,
+    ChorRabinBroadcast,
+    GennaroBroadcast,
+    IdealSimultaneousBroadcast,
+    PiGBroadcast,
+    SequentialBroadcast,
+)
+
+N, T, K = 5, 2, 24
+INPUTS = (1, 0, 1, 1, 0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: SequentialBroadcast(N, T), id="sequential"),
+        pytest.param(lambda: IdealSimultaneousBroadcast(N, T), id="ideal-sb"),
+        pytest.param(lambda: CGMABroadcast(N, T, security_bits=K), id="cgma"),
+        pytest.param(lambda: ChorRabinBroadcast(N, T, security_bits=K), id="chor-rabin"),
+        pytest.param(lambda: GennaroBroadcast(N, T, security_bits=K), id="gennaro"),
+        pytest.param(lambda: PiGBroadcast(N, T, backend="ideal"), id="pi-g-ideal"),
+        pytest.param(lambda: PiGBroadcast(N, T, backend="bgw"), id="pi-g-bgw"),
+    ],
+)
+def test_bench_protocol_execution(benchmark, factory):
+    protocol = factory()
+    announced = benchmark(lambda: protocol.announced(INPUTS, seed=7))
+    assert announced == INPUTS

@@ -1,0 +1,17 @@
+"""Benchmark E-RND: regenerate and verify E-RND at bench scale."""
+
+from repro.experiments.rounds import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_rounds(benchmark, bench_config):
+    """E-RND — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    rounds = result.data["rounds"]
+    sizes = sorted(rounds["cgma"])
+    # Linear vs logarithmic vs constant shapes.
+    assert rounds["cgma"][sizes[-1]] == 3 * sizes[-1] + 1
+    assert rounds["gennaro"][sizes[0]] == rounds["gennaro"][sizes[-1]] == 2
+    assert rounds["chor-rabin"][sizes[-1]] < rounds["cgma"][sizes[-1]]

@@ -1,0 +1,13 @@
+"""Benchmark E-TRD: negligibility trends across the security parameter."""
+
+from repro.experiments.trend_k import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_trend(benchmark, bench_config):
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    assert result.data["pi-g/A* CR"] == "non-negligible"
+    assert result.data["cgma/honest CR"] == "consistent-with-negligible"
+    assert result.data["gennaro/echo G**"] == "consistent-with-negligible"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Collective coin flipping — the application that motivated it all.
+
+A classic use of simultaneous broadcast: n parties each broadcast a random
+bit and the common coin is the XOR of the announced values.  If the
+broadcasts are truly simultaneous, no coalition can bias the coin; if a
+coalition can correlate its bits with the honest ones, the coin is theirs.
+
+This script flips coins through three protocols:
+
+* the CGMA-style VSS protocol [7] — the coin is fair even under attack;
+* the sequential baseline with the copy adversary — the copier cancels an
+  honest bit out of the XOR, fixing the coin's distribution;
+* Π_G under the A* adversary of Claim 6.6 — the most striking case: each
+  corrupted bit *looks* perfectly random (G-Independence holds!) and yet
+  the coin lands on 0 every single time.
+
+Run with::
+
+    python examples/coin_flipping.py
+"""
+
+import random
+
+from repro.adversaries import SequentialCopier, XorAttacker
+from repro.protocols import CGMABroadcast, PiGBroadcast, SequentialBroadcast
+
+N, T = 5, 2
+FLIPS = 200
+
+
+def flip_coins(protocol, adversary_factory, flips: int, seed: int) -> list:
+    """Flip the collective coin ``flips`` times; inputs are fresh random bits."""
+    rng = random.Random(seed)
+    coins = []
+    for _ in range(flips):
+        inputs = [rng.randrange(2) for _ in range(N)]
+        announced = protocol.announced(
+            inputs, adversary=adversary_factory(), rng=random.Random(rng.getrandbits(64))
+        )
+        coin = 0
+        for bit in announced:
+            coin ^= bit
+        coins.append(coin)
+    return coins
+
+
+def report(label: str, coins: list) -> float:
+    heads = sum(coins) / len(coins)
+    print(f"  {label:<42} P(coin = 1) ≈ {heads:.3f}")
+    return heads
+
+
+def main() -> None:
+    print(f"collective coin = XOR of {N} simultaneously broadcast bits, {FLIPS} flips\n")
+
+    cgma = CGMABroadcast(N, T, security_bits=16)
+    fair = report("cgma, honest", flip_coins(cgma, lambda: None, FLIPS, seed=1))
+    assert 0.4 < fair < 0.6
+
+    sequential = SequentialBroadcast(N, T)
+    copier = lambda: SequentialCopier(copier=N, target=1)
+    biased = report(
+        "sequential, copy adversary", flip_coins(sequential, copier, FLIPS, seed=2)
+    )
+    # W_n == W_1 cancels party 1's contribution from the XOR: the coin no
+    # longer depends on party 1's randomness at all.  It still looks fair
+    # here because the other honest parties are random — but a party whose
+    # bit can be cancelled has lost its stake in the coin.
+    flipper = lambda: SequentialCopier(copier=N, target=1, transform=lambda b: 1 - b)
+    report(
+        "sequential, anti-copy adversary", flip_coins(sequential, flipper, FLIPS, seed=3)
+    )
+
+    pi_g = PiGBroadcast(N, T, backend="ideal")
+    attacker = lambda: XorAttacker(pi_g, corrupted_pair=[1, 2])
+    rigged = flip_coins(pi_g, attacker, FLIPS, seed=4)
+    fixed = report("pi-g, A* (the Claim 6.6 adversary)", rigged)
+    assert fixed == 0.0, "Claim 6.6: the coin is stuck at zero"
+
+    print(
+        "\npi-g's corrupted bits are individually uniform (G-Independence"
+        "\nholds), yet the XOR is 0 on every run — the definitional gap the"
+        "\npaper's Lemma 6.4 formalizes, live."
+    )
+
+
+if __name__ == "__main__":
+    main()

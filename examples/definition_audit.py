@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Audit a protocol against every independence definition at once.
+
+The library's measurement engine (:mod:`repro.core.relations`) evaluates
+any (protocol, adversary suite, distribution) triple under all five
+definitions — Sb, CR, G, G*, G** — and reports a worst-case verdict per
+definition.  This script audits three protocols of very different quality
+and prints the resulting scorecards; it is the template for auditing a
+*new* protocol you might add to the zoo.
+
+Run with::
+
+    python examples/definition_audit.py
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.core import HONEST, MeasurementBudget, measure
+from repro.adversaries import CommitEchoAdversary, SequentialCopier, XorAttacker
+from repro.distributions import uniform
+from repro.protocols import GennaroBroadcast, PiGBroadcast, SequentialBroadcast
+
+N, T = 4, 1
+DEFINITIONS = ("Sb", "CR", "G", "G*", "G**")
+
+
+def audit(label, protocol, suite, budget, rng):
+    row = [label]
+    for definition in DEFINITIONS:
+        report = measure(definition, protocol, uniform(N), suite, rng, budget)
+        mark = {True: "VIOLATED"}.get(report.violated, f"{report.gap:.2f}")
+        row.append(mark)
+    return row
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    budget = MeasurementBudget(distribution_samples=400, samples_per_point=60)
+
+    sequential = SequentialBroadcast(N, T)
+    gennaro = GennaroBroadcast(N, T, security_bits=16)
+    pi_g = PiGBroadcast(N, T, backend="ideal")
+
+    rows = [
+        audit(
+            "sequential + copier",
+            sequential,
+            {"copier": lambda: SequentialCopier(copier=N, target=1)},
+            budget,
+            rng,
+        ),
+        audit(
+            "gennaro + commit-echo",
+            gennaro,
+            {
+                "echo": lambda: CommitEchoAdversary(
+                    copier=N, target=1, commit_tag="gen:commit", reveal_tag="gen:reveal"
+                ),
+                "honest": HONEST,
+            },
+            budget,
+            rng,
+        ),
+        audit(
+            "pi-g + A*",
+            pi_g,
+            {"A*": lambda: XorAttacker(pi_g, corrupted_pair=[1, 2])},
+            budget,
+            rng,
+        ),
+    ]
+
+    print(render_table(
+        ["protocol + adversary"] + list(DEFINITIONS),
+        rows,
+        title=f"definition audit (uniform inputs, n={N}, worst adversary per cell)",
+    ))
+    print(
+        "\nreading the scorecard:"
+        "\n  sequential+copier fails everything — no independence at all;"
+        "\n  gennaro shrugs off the copy attack under every definition;"
+        "\n  pi-g+A* is the paper's separation: G-family clean, CR (and Sb) broken."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 — the paper's implication/separation diagram.
+
+Runs the E-FIG1 experiment (every arrow measured on live protocol
+executions) at a configurable scale and prints the measured diagram next
+to the paper's.  ``--scale 1.0`` matches the EXPERIMENTS.md numbers;
+smaller scales trade confidence for speed.
+
+Run with::
+
+    python examples/reproduce_figure1.py [--scale 0.25]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+PAPER_FIGURE = """\
+  the paper's Figure 1:
+
+      Sb  ==[D(CR)]==>  CR  ==[D(G)]==>  G
+      Sb  <=/=[Singleton]=  CR
+      CR  <=/=[D(G)]=       G     (witness: Pi_G, even under uniform)
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    print(PAPER_FIGURE)
+    result = run_experiment("E-FIG1", ExperimentConfig(scale=args.scale))
+    print(result.render())
+    if result.passed:
+        print("\nmeasured diagram matches the paper.")
+    else:
+        print("\nMISMATCH against the paper's diagram — inspect the table above.")
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

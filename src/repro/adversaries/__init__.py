@@ -1,0 +1,18 @@
+"""Adversary library: the attacks the paper's arguments are built around."""
+
+from ..net.adversary import Adversary, PassiveAdversary, ProgramAdversary
+from .biaser import InputFlipper, InputSubstitution
+from .copier import CommitEchoAdversary, RushedBroadcastCopier, SequentialCopier
+from .xor_attacker import XorAttacker
+
+__all__ = [
+    "Adversary",
+    "PassiveAdversary",
+    "ProgramAdversary",
+    "InputFlipper",
+    "InputSubstitution",
+    "SequentialCopier",
+    "CommitEchoAdversary",
+    "RushedBroadcastCopier",
+    "XorAttacker",
+]

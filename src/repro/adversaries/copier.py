@@ -1,0 +1,125 @@
+"""Copy adversaries: announce a function of an honest party's value.
+
+Three strengths, matched to the protocol being attacked:
+
+* :class:`SequentialCopier` — the paper's Section 3.2 attack on the
+  sequential baseline: the corrupted (later) sender discards its input
+  and re-broadcasts the value it heard from the target.
+* :class:`CommitEchoAdversary` — the rushing attack on naive
+  commit-then-reveal: copy the target's commitment verbatim in the commit
+  round (rushed), then echo the target's opening in the reveal round
+  (rushed again).  Defeated by identity tags / proofs of knowledge.
+* :class:`RushedBroadcastCopier` — generic one-round copy on any protocol
+  whose announced value is a round-1 broadcast (used against
+  interactive-consistency style substrates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..net.adversary import Adversary
+from ..net.message import Inbox, broadcast
+
+
+class SequentialCopier(Adversary):
+    """Corrupted party ``copier`` echoes ``target``'s bit in its own slot.
+
+    ``transform`` post-processes the stolen bit (default: identity); pass
+    ``lambda b: 1 - b`` for the anti-correlation variant.
+    """
+
+    def __init__(
+        self,
+        copier: int,
+        target: int,
+        transform: Callable[[int], int] = lambda bit: bit,
+    ):
+        if copier <= target:
+            raise ValueError(
+                "the copier must be scheduled after the target (copier > target)"
+            )
+        super().__init__(corrupted=[copier])
+        self.copier = copier
+        self.target = target
+        self.transform = transform
+        self._stolen: Optional[int] = None
+
+    def act(self, round_number, rushed):
+        # The target broadcasts in its scheduled round; thanks to rushing we
+        # see it in that same round (broadcasts reach corrupted instantly).
+        if self._stolen is None:
+            for message in rushed[self.copier].broadcasts(tag="seq"):
+                if message.sender == self.target:
+                    self._stolen = message.payload
+        if round_number == self.copier:
+            bit = self.transform(self._stolen if self._stolen in (0, 1) else 0)
+            return {self.copier: [broadcast(bit, tag="seq")]}
+        return {self.copier: []}
+
+
+class CommitEchoAdversary(Adversary):
+    """Rushing copy attack on commit-then-reveal protocols.
+
+    Round 1: replay the target's commit-round broadcast under our identity.
+    Round 2: replay the target's reveal-round broadcast.  ``commit_tag``
+    and ``reveal_tag`` select the protocol's message tags
+    (defaults match :class:`repro.protocols.naive_commit_reveal`).
+    ``transform_payload`` optionally rewrites the replayed payloads (for
+    mauling variants).
+    """
+
+    def __init__(
+        self,
+        copier: int,
+        target: int,
+        commit_tag: str = "naive:commit",
+        reveal_tag: str = "naive:reveal",
+        transform_commit: Optional[Callable[[Any], Any]] = None,
+        transform_reveal: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__(corrupted=[copier])
+        self.copier = copier
+        self.target = target
+        self.commit_tag = commit_tag
+        self.reveal_tag = reveal_tag
+        self.transform_commit = transform_commit or (lambda payload: payload)
+        self.transform_reveal = transform_reveal or (lambda payload: payload)
+
+    def _replay(self, inbox: Inbox, tag: str, transform):
+        for message in inbox.broadcasts(tag=tag):
+            if message.sender == self.target:
+                return [broadcast(transform(message.payload), tag=tag)]
+        return []
+
+    def act(self, round_number, rushed):
+        inbox = rushed[self.copier]
+        if round_number == 1:
+            return {self.copier: self._replay(inbox, self.commit_tag, self.transform_commit)}
+        if round_number == 2:
+            return {self.copier: self._replay(inbox, self.reveal_tag, self.transform_reveal)}
+        return {self.copier: []}
+
+
+class RushedBroadcastCopier(Adversary):
+    """Copy a single round-1 broadcast identified by ``source_tag``.
+
+    The stolen payload is re-broadcast in the same round under
+    ``own_tag`` — the generic pattern behind the interactive-consistency
+    copy attack.
+    """
+
+    def __init__(self, copier: int, target: int, source_tag: str, own_tag: str):
+        super().__init__(corrupted=[copier])
+        self.copier = copier
+        self.target = target
+        self.source_tag = source_tag
+        self.own_tag = own_tag
+
+    def act(self, round_number, rushed):
+        if round_number != 1:
+            return {self.copier: []}
+        for message in rushed[self.copier].broadcasts(tag=self.source_tag):
+            if message.sender == self.target:
+                return {self.copier: [broadcast(message.payload, tag=self.own_tag)]}
+        return {self.copier: []}

@@ -1,0 +1,35 @@
+"""A* — the adversary of Claim 6.6 against protocol Π_G.
+
+Corrupts exactly two parties and instructs them to follow Π_G honestly
+*except* that their auxiliary bit is set to 1.  The function g then rigs
+their announced values to ``r`` and ``r ⊕ y`` — individually uniform, yet
+forcing the XOR of the whole announced vector to 0 on every execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InvalidParameterError
+from ..net.adversary import ProgramAdversary
+from ..protocols.pi_g import PiGBroadcast
+
+
+class XorAttacker(ProgramAdversary):
+    """Run ``protocol.raised_program`` (b = 1) at two corrupted parties."""
+
+    def __init__(self, protocol: PiGBroadcast, corrupted_pair: Iterable[int]):
+        pair = sorted(set(corrupted_pair))
+        if len(pair) != 2:
+            raise InvalidParameterError(
+                "the XOR attack needs exactly two corrupted parties"
+            )
+        if not hasattr(protocol, "raised_program"):
+            raise InvalidParameterError(
+                f"{type(protocol).__name__} exposes no auxiliary-bit deviation"
+            )
+        super().__init__(
+            programs={i: protocol.raised_program for i in pair}
+        )
+        self.protocol = protocol
+        self.pair = tuple(pair)

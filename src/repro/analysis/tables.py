@@ -1,0 +1,52 @@
+"""Fixed-width text rendering for experiment tables and the Figure 1 matrix."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table (the harness's output format)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * width for width in widths]))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_figure1(cells: dict) -> str:
+    """Render the Figure 1 implication diagram from measured arrows.
+
+    ``cells`` maps (source, target) definition names to a dict with keys
+    ``class`` (the distribution class the arrow is quantified over) and
+    ``holds`` (bool).  Output mirrors the paper's arrow notation.
+    """
+    lines = ["Figure 1 — measured implications and separations", ""]
+    for (source, target), info in sorted(cells.items()):
+        arrow = "==>" if info["holds"] else "=/=>"
+        lines.append(
+            f"  {source:>3} {arrow:>5} {target:<3}   over {info['class']}"
+            + (f"   [{info.get('note', '')}]" if info.get("note") else "")
+        )
+    return "\n".join(lines)

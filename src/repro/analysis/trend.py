@@ -1,0 +1,57 @@
+"""Negligibility trends across security parameters.
+
+"Negligible in k" cannot be observed at a single k.  The experiments run
+each estimator at several security levels and call a gap *negligible-
+consistent* when it stays below threshold everywhere and does not grow
+with k; an attack shows up as a gap that is large at every k (the paper's
+separations are constant-gap, independent of k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ExperimentError
+from .stats import DEFAULT_TAU_HIGH, DEFAULT_TAU_LOW, Decision
+
+
+@dataclass(frozen=True)
+class TrendVerdict:
+    decision: Decision
+    gaps: Tuple[Tuple[int, float], ...]
+    reason: str
+
+
+def assess_trend(
+    gaps_by_k: Dict[int, float],
+    errors_by_k: Dict[int, float],
+    tau_low: float = DEFAULT_TAU_LOW,
+    tau_high: float = DEFAULT_TAU_HIGH,
+    growth_slack: float = 0.05,
+) -> TrendVerdict:
+    """Combine per-k gap estimates into one negligibility verdict.
+
+    * VIOLATED if the pessimistic gap exceeds ``tau_high`` at every k
+      (a robust, parameter-independent attack);
+    * CONSISTENT if the optimistic gap stays under ``tau_low`` at every k
+      and the gap does not grow by more than ``growth_slack`` from the
+      smallest to the largest k;
+    * INCONCLUSIVE otherwise.
+    """
+    if not gaps_by_k:
+        raise ExperimentError("no security levels supplied")
+    if set(gaps_by_k) != set(errors_by_k):
+        raise ExperimentError("gaps and errors must cover the same k values")
+    ks = sorted(gaps_by_k)
+    gaps = tuple((k, gaps_by_k[k]) for k in ks)
+
+    if all(gaps_by_k[k] - errors_by_k[k] > tau_high for k in ks):
+        return TrendVerdict(Decision.VIOLATED, gaps, "gap exceeds tau_high at every k")
+    small_everywhere = all(gaps_by_k[k] < tau_low for k in ks)
+    grows = gaps_by_k[ks[-1]] > gaps_by_k[ks[0]] + growth_slack
+    if small_everywhere and not grows:
+        return TrendVerdict(
+            Decision.CONSISTENT, gaps, "gap below tau_low at every k, no growth"
+        )
+    return TrendVerdict(Decision.INCONCLUSIVE, gaps, "mixed evidence across k")

@@ -1,0 +1,36 @@
+"""Byzantine broadcast substrates: ideal channel, Dolev–Strong, EIG, phase king.
+
+These realize the broadcast channel the paper's model assumes, and the
+interactive-consistency parallel composition of Pease et al. [18].
+"""
+
+from .base import DEFAULT_VALUE, SingleSenderBroadcast
+from .dolev_strong import DolevStrongBroadcast, dolev_strong
+from .emulation import OverPointToPoint
+from .eig import EIGBroadcast, eig_broadcast
+from .ideal import IdealBroadcast, ideal_broadcast
+from .interactive_consistency import PRIMITIVES, InteractiveConsistency
+from .phase_king import (
+    PhaseKingBroadcast,
+    PhaseKingConsensus,
+    phase_king_broadcast,
+    phase_king_consensus,
+)
+
+__all__ = [
+    "DEFAULT_VALUE",
+    "SingleSenderBroadcast",
+    "IdealBroadcast",
+    "ideal_broadcast",
+    "DolevStrongBroadcast",
+    "dolev_strong",
+    "OverPointToPoint",
+    "EIGBroadcast",
+    "eig_broadcast",
+    "PhaseKingBroadcast",
+    "PhaseKingConsensus",
+    "phase_king_broadcast",
+    "phase_king_consensus",
+    "InteractiveConsistency",
+    "PRIMITIVES",
+]

@@ -1,0 +1,51 @@
+"""Single-sender Byzantine broadcast: the API and shared conventions.
+
+A *broadcast protocol* lets a designated sender transmit one value such
+that (validity) an honest sender's value is the one delivered, and
+(agreement) all honest parties deliver the same value even when the sender
+is corrupted.  The paper assumes such a channel exists (Section 3.1); this
+subpackage provides real implementations over point-to-point links so the
+whole stack can run without the ideal channel.
+
+Every implementation exposes two layers:
+
+* a *sub-generator* (``dolev_strong(...)``, ``eig_broadcast(...)``, ...)
+  usable inside larger protocols via ``yield from`` or
+  :func:`repro.net.compose.run_in_lockstep`;
+* a protocol class with ``n`` / ``setup`` / ``program`` runnable directly
+  through :func:`repro.net.network.run_protocol`.
+
+Invalid or missing transmissions decide the default value
+:data:`DEFAULT_VALUE`, matching the paper's convention that corrupted
+parties contributing no valid input announce 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+DEFAULT_VALUE = 0
+
+
+class SingleSenderBroadcast:
+    """Base class for runnable single-sender broadcast protocols.
+
+    Subclasses implement ``setup`` and ``program``.  ``inputs`` handed to
+    :func:`run_protocol` should contain the sender's value at the sender's
+    position; other positions are ignored.
+    """
+
+    def __init__(self, n: int, t: int, sender: int):
+        if not 1 <= sender <= n:
+            raise ValueError(f"sender {sender} out of range for n={n}")
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        self.n = n
+        self.t = t
+        self.sender = sender
+
+    def setup(self, rng) -> Any:
+        return None
+
+    def program(self, ctx, value):
+        raise NotImplementedError

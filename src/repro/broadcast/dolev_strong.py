@@ -1,0 +1,133 @@
+"""Dolev--Strong authenticated broadcast (tolerates t < n corruptions).
+
+The classic signature-chain protocol: in round 1 the sender signs and
+sends its value; in round r+1 every party relays each newly accepted value
+with its own signature appended.  A value is *accepted* at the end of
+round r if it arrives with valid signatures from r distinct parties, the
+first being the sender.  After t+1 rounds honest parties have identical
+accepted sets; a singleton decides that value, anything else decides the
+default.
+
+Honest parties relay at most two distinct values — two are enough to prove
+sender equivocation, keeping message complexity polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Set, Tuple
+
+from ..crypto.signatures import KeyDirectory
+from ..net.message import send
+from .base import DEFAULT_VALUE, SingleSenderBroadcast
+
+_RELAY_CAP = 2
+
+
+def _chain_valid(
+    directory: KeyDirectory,
+    instance: str,
+    sender: int,
+    value: Any,
+    chain: Tuple[Tuple[int, Any], ...],
+    minimum: int,
+) -> bool:
+    """Check a signature chain: distinct signers, sender first, all valid."""
+    try:
+        signers = [party for party, _ in chain]
+    except (TypeError, ValueError):
+        return False
+    if len(signers) < minimum:
+        return False
+    if len(set(signers)) != len(signers):
+        return False
+    if not signers or signers[0] != sender:
+        return False
+    for party, signature in chain:
+        if not directory.verify(party, (instance, value), signature):
+            return False
+    return True
+
+
+def dolev_strong(
+    ctx,
+    directory: KeyDirectory,
+    sender: int,
+    value: Any,
+    t: int,
+    instance: str = "bc",
+):
+    """Sub-generator running one Dolev--Strong instance; returns the decision.
+
+    Args:
+        ctx: party context.
+        directory: the PKI all parties share.
+        sender: broadcasting party.
+        value: sender's input (ignored for non-senders).
+        t: corruption bound; the protocol runs t+1 rounds.
+        instance: tag namespace.
+    """
+    tag = f"ds:{instance}"
+    accepted: Set[Any] = set()
+    me = ctx.party_id
+
+    # Round 1: the sender signs and distributes.
+    if me == sender:
+        signature = directory.sign(sender, (instance, value), ctx.rng)
+        chain = ((sender, signature),)
+        drafts = [send(j, (value, chain), tag=tag) for j in ctx.others()]
+        accepted.add(value)
+    else:
+        drafts = []
+
+    relays: List[Tuple[Any, Tuple[Tuple[int, Any], ...]]] = []
+    for round_index in range(1, t + 2):
+        inbox = yield drafts
+        drafts = []
+        if me == sender:
+            continue  # the sender already knows its value; it just idles.
+        newly_accepted: List[Tuple[Any, Tuple]] = []
+        for message in inbox.with_tag(tag):
+            payload = message.payload
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                continue
+            received_value, chain = payload
+            if received_value in accepted:
+                continue
+            if len(accepted) >= _RELAY_CAP:
+                break
+            if _chain_valid(
+                directory, instance, sender, received_value, tuple(chain), round_index
+            ):
+                accepted.add(received_value)
+                newly_accepted.append((received_value, tuple(chain)))
+        # Prepare next round's relays (skipped after the last round).
+        if round_index <= t:
+            for received_value, chain in newly_accepted:
+                signature = directory.sign(me, (instance, received_value), ctx.rng)
+                extended = chain + ((me, signature),)
+                for j in ctx.others():
+                    drafts.append(send(j, (received_value, extended), tag=tag))
+
+    if len(accepted) == 1:
+        return next(iter(accepted))
+    return DEFAULT_VALUE
+
+
+class DolevStrongBroadcast(SingleSenderBroadcast):
+    """Runnable Dolev--Strong broadcast with its own generated PKI."""
+
+    def __init__(self, n: int, t: int, sender: int, security_bits: int = 24):
+        super().__init__(n=n, t=t, sender=sender)
+        self.security_bits = security_bits
+
+    def setup(self, rng):
+        from ..crypto.group import SchnorrGroup
+
+        group = SchnorrGroup.for_security(self.security_bits)
+        return {"directory": KeyDirectory.generate(group, self.n, rng)}
+
+    def program(self, ctx, value):
+        decision = yield from dolev_strong(
+            ctx, ctx.config["directory"], self.sender, value, self.t
+        )
+        return decision

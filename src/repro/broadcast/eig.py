@@ -1,0 +1,103 @@
+"""Exponential Information Gathering (EIG) Byzantine broadcast, t < n/3.
+
+The unauthenticated protocol of Pease, Shostak and Lamport [18] / Bar-Noy
+et al., in its EIG-tree formulation: for t+1 rounds parties relay what
+they heard along every path of distinct parties rooted at the sender, then
+resolve the tree bottom-up by strict majority (default 0).  Exponential in
+t, which is fine at the small party counts the simulations use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..net.message import send
+from .base import DEFAULT_VALUE, SingleSenderBroadcast
+
+Path = Tuple[int, ...]
+
+
+def _resolve(tree: Dict[Path, Any], path: Path, n: int, t: int) -> Any:
+    """Bottom-up majority resolution of the EIG tree."""
+    if len(path) == t + 1:
+        return tree.get(path, DEFAULT_VALUE)
+    votes: Dict[Any, int] = {}
+    children = [j for j in range(1, n + 1) if j not in path]
+    for j in children:
+        value = _resolve(tree, path + (j,), n, t)
+        votes[value] = votes.get(value, 0) + 1
+    best_value, best_count = DEFAULT_VALUE, -1
+    for value, count in sorted(votes.items(), key=lambda kv: repr(kv[0])):
+        if count > best_count:
+            best_value, best_count = value, count
+    # A strict majority is required; ties fall back to the default.
+    if 2 * best_count <= len(children):
+        return DEFAULT_VALUE
+    return best_value
+
+
+def eig_broadcast(ctx, sender: int, value: Any, n: int, t: int, instance: str = "bc"):
+    """Sub-generator for one EIG broadcast; returns the decided value.
+
+    Runs exactly t+1 rounds for every party.  Requires t < n/3 for
+    correctness against Byzantine faults.
+    """
+    tag = f"eig:{instance}"
+    me = ctx.party_id
+    tree: Dict[Path, Any] = {}
+
+    # Round 1: the sender distributes its value.
+    if me == sender:
+        drafts = [send(j, ((sender,), value), tag=tag) for j in range(1, n + 1)]
+    else:
+        drafts = []
+
+    for round_index in range(1, t + 2):
+        inbox = yield drafts
+        drafts = []
+        # Record reports for paths of the just-finished round.
+        for message in inbox.with_tag(tag):
+            payload = message.payload
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                continue
+            path, reported = payload
+            try:
+                path = tuple(path)
+            except TypeError:
+                continue
+            if len(path) != round_index:
+                continue
+            if not path or path[0] != sender:
+                continue
+            if len(set(path)) != len(path):
+                continue
+            if path[-1] != message.sender:
+                continue
+            if any(not 1 <= p <= n for p in path):
+                continue
+            tree.setdefault(path, reported)
+        # Relay every newly learned path (length == round_index) extended by me.
+        if round_index <= t:
+            for path in sorted(p for p in tree if len(p) == round_index):
+                if me in path:
+                    continue
+                reported = tree[path]
+                for j in range(1, n + 1):
+                    drafts.append(send(j, (path + (me,), reported), tag=tag))
+
+    # Fill unheard paths with the default before resolving.
+    decision = _resolve(tree, (sender,), n, t)
+    return decision
+
+
+class EIGBroadcast(SingleSenderBroadcast):
+    """Runnable EIG broadcast (no PKI needed; requires t < n/3)."""
+
+    def __init__(self, n: int, t: int, sender: int):
+        if 3 * t >= n:
+            raise ValueError(f"EIG broadcast requires t < n/3 (got t={t}, n={n})")
+        super().__init__(n=n, t=t, sender=sender)
+
+    def program(self, ctx, value):
+        decision = yield from eig_broadcast(ctx, self.sender, value, self.n, self.t)
+        return decision

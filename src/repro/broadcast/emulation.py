@@ -1,0 +1,172 @@
+"""Realizing the broadcast channel over point-to-point links.
+
+The simultaneous-broadcast protocols in :mod:`repro.protocols` are written
+against the model's broadcast channel (Section 3.1).  This module removes
+that assumption: :class:`OverPointToPoint` wraps any such protocol and
+runs it on a network with *only* authenticated point-to-point channels,
+emulating each broadcast-channel round with a window of n parallel
+Dolev--Strong instances (one per potential sender, t+1 rounds each).
+
+Within a window:
+
+* every broadcast draft the inner protocol produced this round is bundled
+  into this party's Dolev--Strong payload (a tuple of (tag, payload)
+  pairs; parties with nothing to say broadcast the empty bundle);
+* point-to-point drafts are sent directly in the window's first round;
+* at the window's end each decided bundle is unpacked into synthesized
+  broadcast messages and delivered — together with the collected
+  point-to-point traffic — as the inner protocol's next inbox.
+
+The wrapper inflates the round complexity by a factor of t+1 and the
+message complexity by O(n²) per broadcast, which is precisely the cost
+the model's "assume a broadcast channel" abstraction hides; the
+``test_broadcast_emulation`` suite measures it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from ..crypto.group import SchnorrGroup
+from ..crypto.signatures import KeyDirectory
+from ..errors import ProtocolError
+from ..net.compose import run_in_lockstep
+from ..net.message import BROADCAST, Draft, Inbox, Message
+from ..net.party import PartyContext
+from .dolev_strong import dolev_strong
+
+_EMPTY_BUNDLE: Tuple = ()
+
+
+def _collector(ctx, p2p_drafts: List[Draft], window_rounds: int, ds_prefix: str):
+    """Sub-generator: send the window's p2p drafts, collect inner traffic.
+
+    Runs for exactly ``window_rounds`` rounds alongside the Dolev--Strong
+    instances; returns the messages addressed to this party that belong to
+    the inner protocol (everything not tagged as this window's emulation
+    traffic).
+    """
+    collected: List[Message] = []
+    drafts = list(p2p_drafts)
+    for _ in range(window_rounds):
+        inbox = yield drafts
+        drafts = []
+        for message in inbox:
+            if message.tag.startswith(ds_prefix):
+                continue
+            if message.addressed_to(ctx.party_id):
+                collected.append(message)
+    return collected
+
+
+class OverPointToPoint:
+    """Run a broadcast-channel protocol over point-to-point links only.
+
+    Args:
+        inner: any protocol with ``n`` / ``t`` / ``setup`` / ``program``
+            whose programs may use the broadcast channel.
+        security_bits: size of the signature PKI backing Dolev--Strong.
+    """
+
+    def __init__(self, inner, security_bits: int = 24):
+        self.inner = inner
+        self.n = inner.n
+        self.t = inner.t
+        self.security_bits = security_bits
+        self.name = f"{getattr(inner, 'name', type(inner).__name__)}/p2p"
+
+    def setup(self, rng: random.Random):
+        group = SchnorrGroup.for_security(self.security_bits)
+        return {
+            "inner": self.inner.setup(rng),
+            "directory": KeyDirectory.generate(group, self.n, rng),
+        }
+
+    # Convenience passthroughs so the wrapper quacks like the zoo protocols.
+    def run(self, inputs, adversary=None, rng=None, seed=None):
+        from ..net.network import run_protocol
+
+        return run_protocol(self, list(inputs), adversary=adversary, rng=rng, seed=seed)
+
+    def announced(self, inputs, adversary=None, rng=None, seed=None):
+        from ..protocols.base import DEFAULT_BIT, coerce_bit
+
+        execution = self.run(inputs, adversary=adversary, rng=rng, seed=seed)
+        return tuple(
+            coerce_bit(w, default=DEFAULT_BIT)
+            for w in execution.announced_vector(default=DEFAULT_BIT)
+        )
+
+    def program(self, ctx: PartyContext, value):
+        directory: KeyDirectory = ctx.config["directory"]
+        inner_ctx = PartyContext(
+            party_id=ctx.party_id,
+            n=ctx.n,
+            rng=random.Random(ctx.rng.getrandbits(64)),
+            config=ctx.config["inner"],
+            session=ctx.session + "/inner",
+        )
+        generator = self.inner.program(inner_ctx, value)
+
+        # Prime the inner program: its first outbox needs no inbox.
+        try:
+            drafts = list(next(generator))
+        except StopIteration as stop:
+            return stop.value
+
+        window = 0
+        window_rounds = self.t + 1
+        while True:
+            window += 1
+            ds_prefix = f"ds:em{window}:"
+            p2p_drafts: List[Draft] = []
+            bundle: List[Tuple[str, Any]] = []
+            for draft in drafts:
+                if not isinstance(draft, Draft):
+                    raise ProtocolError(
+                        f"inner protocol yielded {type(draft).__name__}"
+                    )
+                if draft.recipient == BROADCAST:
+                    bundle.append((draft.tag, draft.payload))
+                else:
+                    p2p_drafts.append(draft)
+
+            subprotocols: Dict[Any, Any] = {
+                "_collect": _collector(ctx, p2p_drafts, window_rounds, ds_prefix)
+            }
+            for sender in range(1, self.n + 1):
+                payload = tuple(bundle) if sender == ctx.party_id else None
+                subprotocols[sender] = dolev_strong(
+                    ctx,
+                    directory,
+                    sender,
+                    payload,
+                    self.t,
+                    instance=f"em{window}:{sender}",
+                )
+            results = yield from run_in_lockstep(subprotocols)
+
+            synthesized: List[Message] = list(results["_collect"])
+            for sender in range(1, self.n + 1):
+                decided = results[sender]
+                if not isinstance(decided, tuple):
+                    continue  # silent or equivocating sender -> nothing delivered
+                for entry in decided:
+                    try:
+                        tag, payload = entry
+                    except (TypeError, ValueError):
+                        continue
+                    synthesized.append(
+                        Message(
+                            sender=sender,
+                            recipient=BROADCAST,
+                            payload=payload,
+                            tag=str(tag),
+                        )
+                    )
+
+            try:
+                drafts = list(generator.send(Inbox(synthesized)))
+            except StopIteration as stop:
+                return stop.value

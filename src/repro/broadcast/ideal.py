@@ -1,0 +1,44 @@
+"""The ideal broadcast channel: one round on the model's broadcast medium.
+
+This is the channel the paper's model already provides ("a network which
+allows regular broadcast transmission operations").  The sender puts its
+value on the broadcast channel; consistency is guaranteed by the channel
+itself.  It is *regular* (non-simultaneous) broadcast: a rushing adversary
+still sees the value before corrupted parties speak in the same round.
+"""
+
+from __future__ import annotations
+
+from ..net.message import broadcast
+from .base import DEFAULT_VALUE, SingleSenderBroadcast
+
+
+def ideal_broadcast(ctx, sender: int, value, instance: str = "bc"):
+    """Sub-generator: one round of ideal broadcast; returns the delivered value.
+
+    Args:
+        ctx: the party's :class:`PartyContext`.
+        sender: index of the broadcasting party.
+        value: the value to send (ignored unless this party is the sender).
+        instance: tag namespace so parallel instances stay separate.
+    """
+    tag = f"ideal:{instance}"
+    if ctx.party_id == sender:
+        inbox = yield [broadcast(value, tag=tag)]
+        return value
+    inbox = yield []
+    message = inbox.first_from(sender, tag=tag)
+    if message is None:
+        return DEFAULT_VALUE
+    return message.payload
+
+
+class IdealBroadcast(SingleSenderBroadcast):
+    """Runnable wrapper around :func:`ideal_broadcast` (tolerates any t)."""
+
+    def __init__(self, n: int, sender: int, t: int = 0):
+        super().__init__(n=n, t=t, sender=sender)
+
+    def program(self, ctx, value):
+        result = yield from ideal_broadcast(ctx, self.sender, value)
+        return result

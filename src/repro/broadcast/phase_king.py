@@ -1,0 +1,110 @@
+"""Phase-king consensus and broadcast (simple variant, t < n/4).
+
+Each of t+1 phases has two rounds: a universal exchange where everyone
+reports its current value, then a "king" round where the phase's king
+proposes a value and parties with a weak majority keep their own value
+while the rest adopt the king's.  With t < n/4 at least one phase has an
+honest king, after which all honest parties agree and agreement persists.
+
+Broadcast is obtained by a one-round sender distribution followed by
+consensus on the received values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..net.message import send
+from .base import DEFAULT_VALUE, SingleSenderBroadcast
+
+
+def phase_king_consensus(ctx, initial: Any, n: int, t: int, instance: str = "pk"):
+    """Sub-generator: consensus among all n parties; returns the agreed value.
+
+    Every party supplies an ``initial`` value; honest parties end with the
+    same decision, equal to the common initial value if one exists.
+    Requires t < n/4.
+    """
+    me = ctx.party_id
+    current = initial
+
+    for phase in range(1, t + 2):
+        exchange_tag = f"pk:{instance}:x{phase}"
+        king_tag = f"pk:{instance}:k{phase}"
+        king = phase  # party `phase` is this phase's king
+
+        # Round A: universal exchange.
+        inbox = yield [
+            send(j, current, tag=exchange_tag) for j in range(1, n + 1)
+        ]
+        # One vote per sender: duplicates from corrupted parties are ignored.
+        reported = inbox.payload_by_sender(tag=exchange_tag)
+        votes: Dict[Any, int] = {}
+        for reported_value in reported.values():
+            votes[reported_value] = votes.get(reported_value, 0) + 1
+        majority_value, majority_count = DEFAULT_VALUE, 0
+        for value, count in sorted(votes.items(), key=lambda kv: repr(kv[0])):
+            if count > majority_count:
+                majority_value, majority_count = value, count
+
+        # Round B: the king proposes its majority value.
+        if me == king:
+            inbox = yield [send(j, majority_value, tag=king_tag) for j in range(1, n + 1)]
+        else:
+            inbox = yield []
+        king_message = inbox.first_from(king, tag=king_tag)
+        king_value = king_message.payload if king_message else DEFAULT_VALUE
+
+        if majority_count > n // 2 + t:
+            current = majority_value
+        else:
+            current = king_value
+
+    return current
+
+
+def phase_king_broadcast(ctx, sender: int, value: Any, n: int, t: int, instance: str = "bc"):
+    """Sub-generator: broadcast = sender distribution + phase-king consensus."""
+    tag = f"pk:{instance}:send"
+    me = ctx.party_id
+    if me == sender:
+        inbox = yield [send(j, value, tag=tag) for j in range(1, n + 1)]
+        received = value
+    else:
+        inbox = yield []
+        message = inbox.first_from(sender, tag=tag)
+        received = message.payload if message else DEFAULT_VALUE
+    decision = yield from phase_king_consensus(ctx, received, n, t, instance=instance)
+    return decision
+
+
+class PhaseKingBroadcast(SingleSenderBroadcast):
+    """Runnable phase-king broadcast (requires t < n/4)."""
+
+    def __init__(self, n: int, t: int, sender: int):
+        if 4 * t >= n:
+            raise ValueError(f"phase king requires t < n/4 (got t={t}, n={n})")
+        super().__init__(n=n, t=t, sender=sender)
+
+    def program(self, ctx, value):
+        decision = yield from phase_king_broadcast(
+            ctx, self.sender, value, self.n, self.t
+        )
+        return decision
+
+
+class PhaseKingConsensus:
+    """Runnable consensus protocol: every party has an input."""
+
+    def __init__(self, n: int, t: int):
+        if 4 * t >= n:
+            raise ValueError(f"phase king requires t < n/4 (got t={t}, n={n})")
+        self.n = n
+        self.t = t
+
+    def setup(self, rng):
+        return None
+
+    def program(self, ctx, value):
+        decision = yield from phase_king_consensus(ctx, value, self.n, self.t)
+        return decision

@@ -1,0 +1,75 @@
+"""Sampling Announced^Π_A(x) and Announced^Π_A(D) (Definition 3.1).
+
+Adversaries are stateful per execution, so samplers take an *adversary
+factory* — a zero-argument callable producing a fresh adversary for each
+run (or ``None`` for honest executions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..distributions.base import Distribution
+from ..net.adversary import Adversary
+
+AdversaryFactory = Callable[[], Optional[Adversary]]
+
+HONEST: AdversaryFactory = lambda: None
+"""The adversary factory for honest executions."""
+
+
+@dataclass(frozen=True)
+class AnnouncedSample:
+    """One draw: the sampled inputs and the resulting announced vector."""
+
+    inputs: Tuple[int, ...]
+    announced: Tuple[int, ...]
+    corrupted: frozenset
+
+
+def announce_once(
+    protocol,
+    inputs: Sequence[int],
+    adversary_factory: AdversaryFactory,
+    rng: random.Random,
+) -> AnnouncedSample:
+    """Run Π once under a fresh adversary on the given inputs."""
+    adversary = adversary_factory()
+    announced = protocol.announced(
+        list(inputs), adversary=adversary, rng=random.Random(rng.getrandbits(64))
+    )
+    corrupted = frozenset(adversary.corrupted) if adversary is not None else frozenset()
+    return AnnouncedSample(
+        inputs=tuple(inputs), announced=announced, corrupted=corrupted
+    )
+
+
+def sample_announced(
+    protocol,
+    distribution: Distribution,
+    adversary_factory: AdversaryFactory,
+    samples: int,
+    rng: random.Random,
+) -> List[AnnouncedSample]:
+    """Draw x ~ D and run Π under A, ``samples`` times."""
+    results = []
+    for _ in range(samples):
+        inputs = distribution.sample(rng)
+        results.append(announce_once(protocol, inputs, adversary_factory, rng))
+    return results
+
+
+def sample_announced_fixed(
+    protocol,
+    inputs: Sequence[int],
+    adversary_factory: AdversaryFactory,
+    samples: int,
+    rng: random.Random,
+) -> List[AnnouncedSample]:
+    """Run Π repeatedly on one *fixed* input vector (the interventional mode
+    used by the G**/Sb estimators and by singleton-distribution tests)."""
+    return [
+        announce_once(protocol, inputs, adversary_factory, rng) for _ in range(samples)
+    ]

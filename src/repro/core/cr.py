@@ -1,0 +1,85 @@
+"""The CR-Independence estimator (Definition 4.3, Chor & Rabin [8]).
+
+For every honest party P_i and every predicate R in the tested family,
+estimate
+
+    | Pr[W_i = 0] · Pr[R(W_{¬i})]  −  Pr[W_i = 0 ∧ R(W_{¬i})] |
+
+over W ← Announced^Π_A(D^(k)), and report the maximum.  The quantity is a
+covariance, so the error of the product term is bounded by three Hoeffding
+half-widths.
+
+The quantifier over *all* polynomial-time predicates is replaced by the
+explicit family of :mod:`repro.core.predicates`, which contains every
+witness predicate appearing in the paper's proofs; see DESIGN.md §5 for
+the calibration argument.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..analysis.stats import selection_halfwidth
+from ..distributions.base import Distribution
+from ..errors import ExperimentError
+from .announced import AdversaryFactory, sample_announced
+from .predicates import Predicate, default_family
+from .verdict import IndependenceReport
+
+
+def cr_report(
+    protocol,
+    distribution: Distribution,
+    adversary_factory: AdversaryFactory,
+    samples: int,
+    rng: random.Random,
+    predicates: Optional[Sequence[Predicate]] = None,
+) -> IndependenceReport:
+    """Estimate the CR gap of Π under adversary A and input distribution D."""
+    if samples < 10:
+        raise ExperimentError("CR estimation needs at least 10 samples")
+    if predicates is None:
+        predicates = default_family(protocol.n)
+
+    draws = sample_announced(protocol, distribution, adversary_factory, samples, rng)
+    corrupted = draws[0].corrupted
+    honest = [i for i in range(1, protocol.n + 1) if i not in corrupted]
+
+    worst_gap = 0.0
+    witness = ""
+    for i in honest:
+        zero_count = sum(1 for d in draws if d.announced[i - 1] == 0)
+        p_zero = zero_count / samples
+        for predicate in predicates:
+            hits = 0
+            joint = 0
+            for draw in draws:
+                satisfied = predicate(draw.announced, i)
+                if satisfied:
+                    hits += 1
+                    if draw.announced[i - 1] == 0:
+                        joint += 1
+            p_pred = hits / samples
+            p_joint = joint / samples
+            gap = abs(p_zero * p_pred - p_joint)
+            if gap > worst_gap:
+                worst_gap = gap
+                witness = f"honest P_{i}, R = {predicate.name}"
+
+    # The gap is a maximum over |predicates| x |honest| candidate statistics;
+    # the half-width is Bonferroni-adjusted for that selection.
+    comparisons = max(1, len(predicates) * len(honest))
+    error = selection_halfwidth(samples, comparisons)
+    return IndependenceReport(
+        definition="CR",
+        gap=worst_gap,
+        error=error,
+        samples=samples,
+        witness=witness,
+        details={
+            "corrupted": sorted(corrupted),
+            "predicates": len(predicates),
+            "distribution": distribution.name,
+        },
+    )

@@ -1,0 +1,186 @@
+"""The G* / G** estimators (Definitions B.1 and B.2, Appendix B).
+
+G** is the *interventional* form of G-Independence: instead of
+conditioning on honest outputs under a sampled distribution, it fixes the
+corrupted coordinates ``w`` and compares runs on different fixed honest
+inputs ``r`` vs ``s``:
+
+    | Pr[W ← Announced^Π_A(w ⊔ s) : W_i = 1]
+      − Pr[W ← Announced^Π_A(w ⊔ r) : W_i = 1] |
+
+G* compares each full input x against ``x_B ⊔ 0`` (honest inputs zeroed).
+Proposition B.3 shows the two are equivalent; the tests in
+``tests/test_core_definitions.py`` check that equivalence empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..analysis.stats import selection_halfwidth
+from ..errors import ExperimentError
+from .announced import AdversaryFactory, sample_announced_fixed
+from .verdict import IndependenceReport
+
+
+def _corrupted_of(adversary_factory: AdversaryFactory) -> frozenset:
+    adversary = adversary_factory()
+    if adversary is None:
+        return frozenset()
+    return frozenset(adversary.corrupted)
+
+
+def _compose(n: int, corrupted: Sequence[int], w: Sequence[int], honest: Sequence[int], r: Sequence[int]) -> Tuple[int, ...]:
+    """The w ⊔ r vector: corrupted coordinates from w, honest from r."""
+    vector = [0] * n
+    for index, party in enumerate(corrupted):
+        vector[party - 1] = w[index]
+    for index, party in enumerate(honest):
+        vector[party - 1] = r[index]
+    return tuple(vector)
+
+
+def _rate(protocol, inputs, adversary_factory, party, samples, rng) -> float:
+    draws = sample_announced_fixed(protocol, inputs, adversary_factory, samples, rng)
+    return sum(1 for d in draws if d.announced[party - 1] == 1) / samples
+
+
+def g_star_star_report(
+    protocol,
+    adversary_factory: AdversaryFactory,
+    samples_per_point: int,
+    rng: random.Random,
+    honest_assignments: Optional[Iterable[Sequence[int]]] = None,
+    corrupted_assignments: Optional[Iterable[Sequence[int]]] = None,
+) -> IndependenceReport:
+    """Estimate the G** gap by direct input intervention.
+
+    By default every corrupted assignment w and every pair of honest
+    assignments (r, s) over {0,1} is tested — feasible for the small n the
+    experiments use; pass explicit assignment lists to restrict.
+    """
+    if samples_per_point < 5:
+        raise ExperimentError("G** estimation needs >= 5 samples per input point")
+    corrupted = sorted(_corrupted_of(adversary_factory))
+    honest = [i for i in range(1, protocol.n + 1) if i not in corrupted]
+    if not corrupted:
+        return IndependenceReport(
+            definition="G**",
+            gap=0.0,
+            error=0.0,
+            samples=0,
+            witness="no corrupted parties (vacuous)",
+        )
+
+    if honest_assignments is None:
+        honest_assignments = list(itertools.product((0, 1), repeat=len(honest)))
+    else:
+        honest_assignments = [tuple(a) for a in honest_assignments]
+    if corrupted_assignments is None:
+        corrupted_assignments = list(itertools.product((0, 1), repeat=len(corrupted)))
+    else:
+        corrupted_assignments = [tuple(a) for a in corrupted_assignments]
+
+    worst_gap = 0.0
+    witness = ""
+    total_runs = 0
+    for w in corrupted_assignments:
+        rates = {}
+        for r in honest_assignments:
+            inputs = _compose(protocol.n, corrupted, w, honest, r)
+            for i in corrupted:
+                rates[(r, i)] = None
+            draws = sample_announced_fixed(
+                protocol, inputs, adversary_factory, samples_per_point, rng
+            )
+            total_runs += samples_per_point
+            for i in corrupted:
+                rates[(r, i)] = (
+                    sum(1 for d in draws if d.announced[i - 1] == 1)
+                    / samples_per_point
+                )
+        for i in corrupted:
+            for r, s in itertools.combinations(honest_assignments, 2):
+                gap = abs(rates[(r, i)] - rates[(s, i)])
+                if gap > worst_gap:
+                    worst_gap = gap
+                    witness = f"corrupted P_{i}, w={w}, r={r} vs s={s}"
+
+    comparisons = max(
+        1,
+        len(corrupted)
+        * len(corrupted_assignments)
+        * len(honest_assignments)
+        * (len(honest_assignments) - 1)
+        // 2,
+    )
+    error = selection_halfwidth(samples_per_point, comparisons)
+    return IndependenceReport(
+        definition="G**",
+        gap=worst_gap,
+        error=error,
+        samples=total_runs,
+        witness=witness,
+        details={"corrupted": corrupted},
+    )
+
+
+def g_star_report(
+    protocol,
+    adversary_factory: AdversaryFactory,
+    samples_per_point: int,
+    rng: random.Random,
+    inputs_list: Optional[Iterable[Sequence[int]]] = None,
+) -> IndependenceReport:
+    """Estimate the G* gap: each x against x_B ⊔ 0 (honest inputs zeroed)."""
+    if samples_per_point < 5:
+        raise ExperimentError("G* estimation needs >= 5 samples per input point")
+    corrupted = sorted(_corrupted_of(adversary_factory))
+    honest = [i for i in range(1, protocol.n + 1) if i not in corrupted]
+    if not corrupted:
+        return IndependenceReport(
+            definition="G*",
+            gap=0.0,
+            error=0.0,
+            samples=0,
+            witness="no corrupted parties (vacuous)",
+        )
+    if inputs_list is None:
+        inputs_list = list(itertools.product((0, 1), repeat=protocol.n))
+    else:
+        inputs_list = [tuple(x) for x in inputs_list]
+
+    worst_gap = 0.0
+    witness = ""
+    total_runs = 0
+    for x in inputs_list:
+        zeroed = _compose(
+            protocol.n,
+            corrupted,
+            [x[i - 1] for i in corrupted],
+            honest,
+            [0] * len(honest),
+        )
+        for i in corrupted:
+            rate_x = _rate(protocol, x, adversary_factory, i, samples_per_point, rng)
+            rate_zero = _rate(
+                protocol, zeroed, adversary_factory, i, samples_per_point, rng
+            )
+            total_runs += 2 * samples_per_point
+            gap = abs(rate_x - rate_zero)
+            if gap > worst_gap:
+                worst_gap = gap
+                witness = f"corrupted P_{i}, x={x} vs x_B⊔0"
+
+    comparisons = max(1, len(corrupted) * len(inputs_list))
+    error = selection_halfwidth(samples_per_point, comparisons)
+    return IndependenceReport(
+        definition="G*",
+        gap=worst_gap,
+        error=error,
+        samples=total_runs,
+        witness=witness,
+        details={"corrupted": corrupted},
+    )

@@ -1,0 +1,90 @@
+"""The polynomial-time predicate family R of Definition 4.3.
+
+CR-Independence quantifies over *all* polynomial-time predicates on the
+other parties' announced bits.  Empirically we test an explicit family
+that contains every witness predicate used in the paper's proofs:
+
+* the parity predicate ``⊕_j z_j = c`` — the witness in Lemma 6.4 / Claim
+  6.6 (the XOR attack is detected exactly by parity);
+* coordinate projections ``z_j = c`` — the witness in Lemma 6.2's proof
+  (there R(Z) := (Z_i = 1)) and in the copy attack (the copied coordinate
+  predicts the target);
+* pairwise equalities ``z_j = z_l``;
+* thresshold/majority predicates — representatives of monotone tests.
+
+Predicates operate on the announced vector *with coordinate i removed*
+(the paper's ``W_{¬i}``); implementations receive the full vector plus the
+excluded index so a single object serves every honest party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A named polynomial-time predicate on W with one coordinate excluded."""
+
+    name: str
+    fn: Callable[[Tuple[int, ...], int], bool]
+
+    def __call__(self, announced: Sequence[int], excluded: int) -> bool:
+        """Evaluate on ``announced`` ignoring 1-based coordinate ``excluded``."""
+        return bool(self.fn(tuple(announced), excluded))
+
+
+def _others(announced: Tuple[int, ...], excluded: int) -> Tuple[int, ...]:
+    return tuple(b for j, b in enumerate(announced, start=1) if j != excluded)
+
+
+def parity_predicate(target: int = 0) -> Predicate:
+    def fn(announced, excluded):
+        total = 0
+        for bit in _others(announced, excluded):
+            total ^= bit
+        return total == target
+
+    return Predicate(name=f"parity=={target}", fn=fn)
+
+
+def projection_predicate(coordinate: int, value: int = 1) -> Predicate:
+    def fn(announced, excluded):
+        if coordinate == excluded or not 1 <= coordinate <= len(announced):
+            return False
+        return announced[coordinate - 1] == value
+
+    return Predicate(name=f"W[{coordinate}]=={value}", fn=fn)
+
+
+def equality_predicate(left: int, right: int) -> Predicate:
+    def fn(announced, excluded):
+        if excluded in (left, right):
+            return False
+        if not (1 <= left <= len(announced) and 1 <= right <= len(announced)):
+            return False
+        return announced[left - 1] == announced[right - 1]
+
+    return Predicate(name=f"W[{left}]==W[{right}]", fn=fn)
+
+
+def threshold_predicate(minimum_ones: int) -> Predicate:
+    def fn(announced, excluded):
+        return sum(_others(announced, excluded)) >= minimum_ones
+
+    return Predicate(name=f"sum>={minimum_ones}", fn=fn)
+
+
+def default_family(n: int) -> List[Predicate]:
+    """The standard predicate family used by the CR estimator."""
+    predicates: List[Predicate] = [parity_predicate(0), parity_predicate(1)]
+    for coordinate in range(1, n + 1):
+        predicates.append(projection_predicate(coordinate, 1))
+        predicates.append(projection_predicate(coordinate, 0))
+    for left in range(1, n + 1):
+        for right in range(left + 1, n + 1):
+            predicates.append(equality_predicate(left, right))
+    for minimum in (1, (n - 1) // 2 + 1, n - 1):
+        predicates.append(threshold_predicate(minimum))
+    return predicates

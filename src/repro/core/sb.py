@@ -1,0 +1,127 @@
+"""The Sb-Independence estimator (Definitions 4.1/4.2, Chor et al. [7]).
+
+Sb-Independence asks for a *single* simulator S such that for every
+distribution in the class, the real execution is indistinguishable from
+the ideal process with S.  Two facts make this empirically testable:
+
+1. In the ideal process, the honest coordinates of the announced vector
+   equal the honest inputs, and the corrupted coordinates are produced by
+   S from ``(x_B, z)`` alone — in particular their distribution cannot
+   depend on the honest inputs.
+2. Our distinguisher family consists of the predicates on ``(x, W)`` —
+   the same family the paper's own proofs use (the distinguisher T in
+   Appendix A.1 is built from a predicate on W; the distinguisher Q in
+   Lemma 6.4 compares two announced coordinates).
+
+For this family, the best distinguishing advantage against the *best*
+simulator decomposes into two measurable quantities:
+
+* ``correctness_violation`` — the rate at which some honest announced
+  coordinate differs from the honest input (an ideal process never does
+  this, no matter the simulator);
+* the **simulation gap** — the maximal total-variation distance between
+  the corrupted announced pattern ``W_B`` under two input vectors that
+  agree on the corrupted coordinates but differ on honest ones.  Any
+  dependence of W_B on x_H is unsimulatable, because S sees only x_B;
+  conversely, if W_B depends on x only through x_B (and honest outputs
+  are correct), the map x_B ↦ W_B *is* a valid simulator for this family.
+
+The test quantifies over a set of input vectors that represents the
+distribution class Δ (for (Singleton, Sb)-independence: the singletons
+themselves), implementing the paper's ∃S ∀D∈Δ quantifier order: one
+simulator must explain all of them at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import empirical_tv, selection_halfwidth
+from ..errors import ExperimentError
+from .announced import AdversaryFactory, sample_announced_fixed
+from .verdict import IndependenceReport
+
+
+def sb_report(
+    protocol,
+    adversary_factory: AdversaryFactory,
+    samples_per_point: int,
+    rng: random.Random,
+    input_vectors: Optional[Iterable[Sequence[int]]] = None,
+) -> IndependenceReport:
+    """Estimate the Sb gap of Π under A over a class of fixed input vectors.
+
+    Args:
+        input_vectors: representative inputs of the class Δ (defaults to
+            all of {0,1}^n, i.e. the Singleton class, which by the paper's
+            Section 5.3 discussion is equivalent to (All, Sb)).
+    """
+    if samples_per_point < 5:
+        raise ExperimentError("Sb estimation needs >= 5 samples per input point")
+    adversary_probe = adversary_factory()
+    corrupted = sorted(adversary_probe.corrupted) if adversary_probe else []
+    honest = [i for i in range(1, protocol.n + 1) if i not in set(corrupted)]
+
+    if input_vectors is None:
+        input_vectors = list(itertools.product((0, 1), repeat=protocol.n))
+    else:
+        input_vectors = [tuple(x) for x in input_vectors]
+
+    # Collect W_B patterns per input vector, and correctness violations.
+    total_runs = 0
+    violations = 0
+    patterns: Dict[Tuple[int, ...], Dict[Tuple[int, ...], int]] = {}
+    for x in input_vectors:
+        counts: Dict[Tuple[int, ...], int] = {}
+        draws = sample_announced_fixed(
+            protocol, x, adversary_factory, samples_per_point, rng
+        )
+        total_runs += samples_per_point
+        for draw in draws:
+            for j in honest:
+                if draw.announced[j - 1] != x[j - 1]:
+                    violations += 1
+                    break
+            pattern = tuple(draw.announced[i - 1] for i in corrupted)
+            counts[pattern] = counts.get(pattern, 0) + 1
+        patterns[x] = counts
+
+    correctness_violation = violations / total_runs if total_runs else 0.0
+
+    # Simulation gap: W_B must not vary across honest inputs for fixed x_B.
+    worst_gap = 0.0
+    witness = ""
+    if corrupted:
+        by_corrupted_inputs: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        for x in input_vectors:
+            key = tuple(x[i - 1] for i in corrupted)
+            by_corrupted_inputs.setdefault(key, []).append(x)
+        for key, group in by_corrupted_inputs.items():
+            for x_r, x_s in itertools.combinations(group, 2):
+                gap = empirical_tv(
+                    patterns[x_r], samples_per_point, patterns[x_s], samples_per_point
+                )
+                if gap > worst_gap:
+                    worst_gap = gap
+                    witness = f"W_B depends on honest inputs: x={x_r} vs x={x_s}"
+
+    gap = max(worst_gap, correctness_violation)
+    if correctness_violation >= worst_gap and correctness_violation > 0:
+        witness = f"correctness violated at rate {correctness_violation:.3f}"
+    comparisons = max(1, len(input_vectors) * (len(input_vectors) - 1) // 2)
+    error = selection_halfwidth(samples_per_point, comparisons)
+    return IndependenceReport(
+        definition="Sb",
+        gap=gap,
+        error=error,
+        samples=total_runs,
+        witness=witness,
+        details={
+            "corrupted": corrupted,
+            "correctness_violation": correctness_violation,
+            "simulation_gap": worst_gap,
+            "input_vectors": len(input_vectors),
+        },
+    )

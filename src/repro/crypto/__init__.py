@@ -1,0 +1,75 @@
+"""Cryptographic substrate: fields, groups, commitments, sharing, VSS, signatures.
+
+Everything is implemented from scratch on top of ``hashlib`` and Python
+integers.  Parameters are deterministic per security level ``k`` so runs
+are reproducible; see :mod:`repro.crypto.group`.
+"""
+
+from .commitment import (
+    HashCommitment,
+    Opening,
+    PedersenCommitment,
+    PedersenParameters,
+    TrapdoorCommitment,
+)
+from .field import FieldElement, PrimeField, is_probable_prime, next_prime
+from .group import GroupElement, SchnorrGroup, safe_prime_parameters
+from .polynomial import (
+    Polynomial,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate,
+)
+from .prg import PRF, PRG, random_oracle, random_oracle_int
+from .secret_sharing import ShamirSharing, Share
+from .signatures import KeyDirectory, KeyPair, Signature, sign, verify
+from .sigma import (
+    OpeningProof,
+    SchnorrProof,
+    check_opening,
+    prove_discrete_log,
+    prove_opening,
+    verify_discrete_log,
+    verify_opening,
+)
+from .vss import FeldmanDealing, FeldmanVSS, PedersenDealing, PedersenShare, PedersenVSS
+
+__all__ = [
+    "FieldElement",
+    "PrimeField",
+    "is_probable_prime",
+    "next_prime",
+    "GroupElement",
+    "SchnorrGroup",
+    "safe_prime_parameters",
+    "Polynomial",
+    "lagrange_coefficients_at_zero",
+    "lagrange_interpolate",
+    "PRG",
+    "PRF",
+    "random_oracle",
+    "random_oracle_int",
+    "HashCommitment",
+    "Opening",
+    "PedersenCommitment",
+    "PedersenParameters",
+    "TrapdoorCommitment",
+    "ShamirSharing",
+    "Share",
+    "KeyDirectory",
+    "KeyPair",
+    "Signature",
+    "sign",
+    "verify",
+    "SchnorrProof",
+    "OpeningProof",
+    "prove_discrete_log",
+    "verify_discrete_log",
+    "prove_opening",
+    "verify_opening",
+    "check_opening",
+    "FeldmanVSS",
+    "FeldmanDealing",
+    "PedersenVSS",
+    "PedersenDealing",
+    "PedersenShare",
+]

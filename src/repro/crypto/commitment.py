@@ -1,0 +1,135 @@
+"""Commitment schemes: hash-based, Pedersen, and trapdoor (equivocable).
+
+Three schemes with one interface, because the simultaneous-broadcast
+protocols differ in which flavour they need:
+
+* :class:`HashCommitment` — computationally hiding and binding in the
+  random-oracle model; what the Chor--Rabin-style protocol uses.
+* :class:`PedersenCommitment` — perfectly hiding, computationally binding
+  under discrete log; used by Pedersen VSS.
+* :class:`TrapdoorCommitment` — a Pedersen commitment whose setup exposes
+  the trapdoor ``log_g(h)``; the simulator for the Gennaro-style CRS
+  protocol uses the trapdoor to equivocate.
+
+A commitment is a pair (commit message, opening); ``verify`` checks an
+opening against a commit message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..errors import CommitmentError, InvalidParameterError
+from .group import GroupElement, SchnorrGroup
+from .prg import random_oracle
+
+NONCE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The de-commitment data: the committed value and the randomness."""
+
+    value: Any
+    randomness: Any
+
+
+class HashCommitment:
+    """Random-oracle commitment: C = H(tag, value, nonce)."""
+
+    def __init__(self, tag: str = "hash-commit"):
+        self.tag = tag
+
+    def commit(self, value: Any, rng) -> Tuple[bytes, Opening]:
+        nonce = bytes(rng.getrandbits(8) for _ in range(NONCE_BYTES))
+        commitment = random_oracle(self.tag, value, nonce)
+        return commitment, Opening(value, nonce)
+
+    def verify(self, commitment: bytes, opening: Opening) -> bool:
+        expected = random_oracle(self.tag, opening.value, opening.randomness)
+        return expected == commitment
+
+    def check(self, commitment: bytes, opening: Opening) -> Any:
+        """Verify and return the committed value, raising on mismatch."""
+        if not self.verify(commitment, opening):
+            raise CommitmentError("hash commitment failed to verify")
+        return opening.value
+
+
+@dataclass(frozen=True)
+class PedersenParameters:
+    """Public parameters (group, g, h) with log_g(h) unknown."""
+
+    group: SchnorrGroup
+    g: GroupElement
+    h: GroupElement
+
+    @classmethod
+    def generate(cls, group: SchnorrGroup, seed: bytes = b"pedersen") -> "PedersenParameters":
+        return cls(group=group, g=group.generator, h=group.hash_to_element(seed))
+
+
+class PedersenCommitment:
+    """Pedersen commitment C = g^m * h^r over a Schnorr group."""
+
+    def __init__(self, parameters: PedersenParameters):
+        self.parameters = parameters
+
+    @property
+    def group(self) -> SchnorrGroup:
+        return self.parameters.group
+
+    def commit(self, value: int, rng) -> Tuple[GroupElement, Opening]:
+        message = int(value) % self.group.q
+        randomness = self.group.random_exponent(rng)
+        return self.commit_with_randomness(message, randomness), Opening(message, randomness)
+
+    def commit_with_randomness(self, value: int, randomness: int) -> GroupElement:
+        params = self.parameters
+        return (params.g ** (int(value) % self.group.q)) * (params.h ** (randomness % self.group.q))
+
+    def verify(self, commitment: GroupElement, opening: Opening) -> bool:
+        try:
+            expected = self.commit_with_randomness(opening.value, opening.randomness)
+        except (TypeError, ValueError):
+            return False
+        return expected == commitment
+
+    def check(self, commitment: GroupElement, opening: Opening) -> int:
+        if not self.verify(commitment, opening):
+            raise CommitmentError("Pedersen commitment failed to verify")
+        return opening.value
+
+    def combine(self, left: GroupElement, right: GroupElement) -> GroupElement:
+        """Homomorphic combination: Com(m1, r1) * Com(m2, r2) = Com(m1+m2, r1+r2)."""
+        return left * right
+
+
+class TrapdoorCommitment(PedersenCommitment):
+    """A Pedersen commitment with a known trapdoor t = log_g(h).
+
+    With the trapdoor one can open a commitment to *any* value:
+    given C = g^m h^r and a target m', choose r' = r + (m - m') / t.
+    The honest interface is identical to :class:`PedersenCommitment`.
+    """
+
+    def __init__(self, group: SchnorrGroup, trapdoor: Optional[int] = None, rng=None):
+        if trapdoor is None:
+            if rng is None:
+                raise InvalidParameterError("either trapdoor or rng must be given")
+            trapdoor = rng.randrange(1, group.q)
+        if not 0 < trapdoor < group.q:
+            raise InvalidParameterError("trapdoor must be in (0, q)")
+        parameters = PedersenParameters(
+            group=group, g=group.generator, h=group.power(trapdoor)
+        )
+        super().__init__(parameters)
+        self.trapdoor = trapdoor
+
+    def equivocate(self, opening: Opening, new_value: int) -> Opening:
+        """Produce an opening of the same commitment to ``new_value``."""
+        q = self.group.q
+        delta = (int(opening.value) - int(new_value)) % q
+        new_randomness = (opening.randomness + delta * pow(self.trapdoor, -1, q)) % q
+        return Opening(int(new_value) % q, new_randomness)

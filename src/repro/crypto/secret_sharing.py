@@ -1,0 +1,106 @@
+"""Shamir secret sharing over GF(p).
+
+A (t, n) sharing hides a secret in the constant term of a random degree-t
+polynomial; any t+1 shares reconstruct, any t reveal nothing.  Party i
+holds the evaluation at x = i (1-based, so x = 0 is reserved for the
+secret itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..errors import InvalidParameterError, ShareError
+from .field import FieldElement, IntoElement, PrimeField
+from .polynomial import Polynomial, lagrange_coefficients_at_zero
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation point x and the value f(x)."""
+
+    x: int
+    value: FieldElement
+
+
+class ShamirSharing:
+    """A (threshold, n) Shamir scheme over a given prime field."""
+
+    def __init__(self, field: PrimeField, threshold: int, parties: int):
+        if parties < 1:
+            raise InvalidParameterError("need at least one party")
+        if not 0 <= threshold < parties:
+            raise InvalidParameterError(
+                f"threshold must be in [0, parties), got t={threshold}, n={parties}"
+            )
+        if field.modulus <= parties:
+            raise InvalidParameterError(
+                f"field modulus {field.modulus} too small for {parties} parties"
+            )
+        self.field = field
+        self.threshold = threshold
+        self.parties = parties
+
+    def share(self, secret: IntoElement, rng) -> Tuple[Polynomial, Dict[int, Share]]:
+        """Share a secret; returns the dealing polynomial and per-party shares.
+
+        The polynomial is returned so verifiable schemes (VSS) can commit to
+        its coefficients; plain callers should discard it.
+        """
+        polynomial = Polynomial.random(
+            self.field, self.threshold, rng, constant_term=self.field.element(secret)
+        )
+        shares = {
+            i: Share(i, polynomial(i)) for i in range(1, self.parties + 1)
+        }
+        return polynomial, shares
+
+    def reconstruct(self, shares: Iterable[Share]) -> FieldElement:
+        """Reconstruct the secret from at least threshold+1 shares."""
+        share_list = list(shares)
+        if len({s.x for s in share_list}) != len(share_list):
+            raise ShareError("duplicate shares supplied")
+        if len(share_list) < self.threshold + 1:
+            raise ShareError(
+                f"need {self.threshold + 1} shares, got {len(share_list)}"
+            )
+        subset = share_list[: self.threshold + 1]
+        coefficients = lagrange_coefficients_at_zero(
+            self.field, [s.x for s in subset]
+        )
+        secret = self.field.zero()
+        for coefficient, share in zip(coefficients, subset):
+            secret = secret + coefficient * share.value
+        return secret
+
+    def reconstruct_with_errors(self, shares: Sequence[Share]) -> FieldElement:
+        """Reconstruct while checking global consistency of all shares.
+
+        All supplied shares must lie on a single degree-<=threshold
+        polynomial; otherwise a :class:`ShareError` is raised.  (This is the
+        error-detection — not correction — mode used by protocols that have
+        already filtered shares through commitments.)
+        """
+        from .polynomial import lagrange_interpolate
+
+        if len(shares) < self.threshold + 1:
+            raise ShareError("not enough shares")
+        polynomial = lagrange_interpolate(
+            self.field, [(s.x, s.value) for s in shares[: self.threshold + 1]]
+        )
+        for share in shares:
+            if polynomial(share.x) != share.value:
+                raise ShareError(f"share at x={share.x} is inconsistent")
+        if polynomial.degree > self.threshold:
+            raise ShareError("shares define a polynomial of excessive degree")
+        return polynomial(0)
+
+    def add_shares(self, left: Share, right: Share) -> Share:
+        """Locally add two shares of different secrets (linear homomorphism)."""
+        if left.x != right.x:
+            raise ShareError("cannot add shares at different evaluation points")
+        return Share(left.x, left.value + right.value)
+
+    def scale_share(self, share: Share, scalar: IntoElement) -> Share:
+        return Share(share.x, share.value * self.field.element(scalar))

@@ -1,0 +1,130 @@
+"""Sigma protocols and Fiat--Shamir non-interactive proofs of knowledge.
+
+The Chor--Rabin-style protocol has parties prove *knowledge* of their
+committed values before anything is revealed; that is what rules out the
+copy-attack (a copier cannot prove knowledge of a value it only saw a
+commitment to).  We implement:
+
+* the Schnorr proof of knowledge of a discrete log (interactive 3-move
+  messages plus a Fiat--Shamir compiler), and
+* a proof of knowledge of a Pedersen commitment opening (Okamoto-style
+  two-base Schnorr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ProofError
+from .commitment import PedersenParameters
+from .group import GroupElement, SchnorrGroup
+from .prg import random_oracle_int
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Non-interactive proof of knowledge of x with y = g^x."""
+
+    commitment: GroupElement
+    response: int
+
+
+def prove_discrete_log(
+    group: SchnorrGroup, secret: int, rng, context: Any = ""
+) -> SchnorrProof:
+    """Prove knowledge of ``secret`` for the statement y = g^secret.
+
+    ``context`` is bound into the challenge (session id, party id, ...) to
+    prevent cross-context replay — the simultaneity property of the
+    Chor--Rabin protocol relies on proofs being non-transferable.
+    """
+    nonce = rng.randrange(1, group.q)
+    commitment = group.power(nonce)
+    statement = group.power(secret)
+    challenge = _challenge(group, "dlog", statement, commitment, context)
+    response = (nonce + challenge * (secret % group.q)) % group.q
+    return SchnorrProof(commitment=commitment, response=response)
+
+
+def verify_discrete_log(
+    group: SchnorrGroup, statement: GroupElement, proof: SchnorrProof, context: Any = ""
+) -> bool:
+    try:
+        challenge = _challenge(group, "dlog", statement, proof.commitment, context)
+        left = group.power(proof.response)
+        right = proof.commitment * (statement ** challenge)
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return left == right
+
+
+@dataclass(frozen=True)
+class OpeningProof:
+    """Proof of knowledge of (m, r) with C = g^m h^r (Okamoto protocol)."""
+
+    commitment: GroupElement
+    response_value: int
+    response_blinding: int
+
+
+def prove_opening(
+    parameters: PedersenParameters,
+    value: int,
+    blinding: int,
+    rng,
+    context: Any = "",
+) -> OpeningProof:
+    group = parameters.group
+    nonce_value = rng.randrange(1, group.q)
+    nonce_blinding = rng.randrange(1, group.q)
+    commitment = (parameters.g ** nonce_value) * (parameters.h ** nonce_blinding)
+    statement = (parameters.g ** (value % group.q)) * (parameters.h ** (blinding % group.q))
+    challenge = _challenge(group, "opening", statement, commitment, context)
+    return OpeningProof(
+        commitment=commitment,
+        response_value=(nonce_value + challenge * (value % group.q)) % group.q,
+        response_blinding=(nonce_blinding + challenge * (blinding % group.q)) % group.q,
+    )
+
+
+def verify_opening(
+    parameters: PedersenParameters,
+    statement: GroupElement,
+    proof: OpeningProof,
+    context: Any = "",
+) -> bool:
+    group = parameters.group
+    try:
+        challenge = _challenge(group, "opening", statement, proof.commitment, context)
+        left = (parameters.g ** proof.response_value) * (
+            parameters.h ** proof.response_blinding
+        )
+        right = proof.commitment * (statement ** challenge)
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return left == right
+
+
+def check_opening(
+    parameters: PedersenParameters,
+    statement: GroupElement,
+    proof: OpeningProof,
+    context: Any = "",
+) -> None:
+    if not verify_opening(parameters, statement, proof, context):
+        raise ProofError("proof of commitment opening failed to verify")
+
+
+def _challenge(
+    group: SchnorrGroup, tag: str, statement: GroupElement, commitment: GroupElement, context: Any
+) -> int:
+    return random_oracle_int(
+        "sigma",
+        tag,
+        group.p,
+        int(statement),
+        int(commitment),
+        context,
+        modulus=group.q,
+    )

@@ -1,0 +1,173 @@
+"""Verifiable secret sharing: Feldman and Pedersen variants.
+
+VSS is the engine of the CGMA-style simultaneous broadcast protocol [7]:
+each sender deals its input verifiably *before* any value is revealed, so
+a rushing adversary learns nothing it can correlate with.
+
+* Feldman VSS publishes ``g^{a_j}`` for every coefficient of the dealing
+  polynomial — computationally hiding (discrete log), perfectly binding.
+* Pedersen VSS publishes ``g^{a_j} h^{b_j}`` using a companion polynomial —
+  perfectly hiding, computationally binding.
+
+Both expose ``deal`` / ``verify_share`` / ``reconstruct``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..errors import InvalidParameterError, ShareError
+from .commitment import PedersenParameters
+from .field import FieldElement
+from .group import GroupElement, SchnorrGroup
+from .polynomial import lagrange_coefficients_at_zero
+from .secret_sharing import ShamirSharing, Share
+
+
+@dataclass(frozen=True)
+class FeldmanDealing:
+    """Public commitments plus the private per-party shares of one dealing."""
+
+    commitments: Tuple[GroupElement, ...]
+    shares: Dict[int, Share]
+
+
+@dataclass(frozen=True)
+class PedersenShare:
+    """A Pedersen VSS share: evaluations of both the value and blinding polynomials."""
+
+    x: int
+    value: FieldElement
+    blinding: FieldElement
+
+
+@dataclass(frozen=True)
+class PedersenDealing:
+    commitments: Tuple[GroupElement, ...]
+    shares: Dict[int, PedersenShare]
+
+
+class FeldmanVSS:
+    """Feldman verifiable secret sharing over a Schnorr group."""
+
+    def __init__(self, group: SchnorrGroup, threshold: int, parties: int):
+        self.group = group
+        self.field = group.exponent_field
+        self.sharing = ShamirSharing(self.field, threshold, parties)
+        self.threshold = threshold
+        self.parties = parties
+
+    def deal(self, secret: int, rng) -> FeldmanDealing:
+        polynomial, shares = self.sharing.share(secret, rng)
+        coefficients = list(polynomial.coefficients)
+        # Pad so the commitment vector always has threshold+1 entries even if
+        # trailing coefficients happen to be zero.
+        while len(coefficients) < self.threshold + 1:
+            coefficients.append(self.field.zero())
+        commitments = tuple(self.group.power(c.value) for c in coefficients)
+        return FeldmanDealing(commitments=commitments, shares=shares)
+
+    def verify_share(self, commitments: Sequence[GroupElement], share: Share) -> bool:
+        """Check g^{f(i)} against the committed coefficients."""
+        if len(commitments) != self.threshold + 1:
+            return False
+        expected = self.group.identity()
+        x_power = 1
+        for commitment in commitments:
+            expected = expected * (commitment ** x_power)
+            x_power = (x_power * share.x) % self.group.q
+        return self.group.power(share.value.value) == expected
+
+    def commitment_to_secret(self, commitments: Sequence[GroupElement]) -> GroupElement:
+        """The implied commitment g^s to the shared secret (x = 0)."""
+        if not commitments:
+            raise InvalidParameterError("empty commitment vector")
+        return commitments[0]
+
+    def reconstruct(
+        self, commitments: Sequence[GroupElement], shares: Iterable[Share]
+    ) -> FieldElement:
+        """Reconstruct from shares, discarding any that fail verification."""
+        valid = [s for s in shares if self.verify_share(commitments, s)]
+        seen = {}
+        for share in valid:
+            seen.setdefault(share.x, share)
+        unique = list(seen.values())
+        if len(unique) < self.threshold + 1:
+            raise ShareError(
+                f"only {len(unique)} valid shares; need {self.threshold + 1}"
+            )
+        return self.sharing.reconstruct(unique)
+
+
+class PedersenVSS:
+    """Pedersen verifiable secret sharing (perfectly hiding)."""
+
+    def __init__(
+        self,
+        parameters: PedersenParameters,
+        threshold: int,
+        parties: int,
+    ):
+        self.parameters = parameters
+        self.group = parameters.group
+        self.field = self.group.exponent_field
+        self.sharing = ShamirSharing(self.field, threshold, parties)
+        self.threshold = threshold
+        self.parties = parties
+
+    def deal(self, secret: int, rng) -> PedersenDealing:
+        value_poly, value_shares = self.sharing.share(secret, rng)
+        blind_poly, blind_shares = self.sharing.share(self.field.random(rng), rng)
+        value_coeffs = list(value_poly.coefficients)
+        blind_coeffs = list(blind_poly.coefficients)
+        while len(value_coeffs) < self.threshold + 1:
+            value_coeffs.append(self.field.zero())
+        while len(blind_coeffs) < self.threshold + 1:
+            blind_coeffs.append(self.field.zero())
+        commitments = tuple(
+            (self.parameters.g ** a.value) * (self.parameters.h ** b.value)
+            for a, b in zip(value_coeffs, blind_coeffs)
+        )
+        shares = {
+            i: PedersenShare(
+                x=i, value=value_shares[i].value, blinding=blind_shares[i].value
+            )
+            for i in range(1, self.parties + 1)
+        }
+        return PedersenDealing(commitments=commitments, shares=shares)
+
+    def verify_share(
+        self, commitments: Sequence[GroupElement], share: PedersenShare
+    ) -> bool:
+        if len(commitments) != self.threshold + 1:
+            return False
+        expected = self.group.identity()
+        x_power = 1
+        for commitment in commitments:
+            expected = expected * (commitment ** x_power)
+            x_power = (x_power * share.x) % self.group.q
+        actual = (self.parameters.g ** share.value.value) * (
+            self.parameters.h ** share.blinding.value
+        )
+        return actual == expected
+
+    def reconstruct(
+        self, commitments: Sequence[GroupElement], shares: Iterable[PedersenShare]
+    ) -> FieldElement:
+        valid = [s for s in shares if self.verify_share(commitments, s)]
+        seen = {}
+        for share in valid:
+            seen.setdefault(share.x, share)
+        unique = list(seen.values())
+        if len(unique) < self.threshold + 1:
+            raise ShareError(
+                f"only {len(unique)} valid shares; need {self.threshold + 1}"
+            )
+        subset = unique[: self.threshold + 1]
+        coefficients = lagrange_coefficients_at_zero(self.field, [s.x for s in subset])
+        secret = self.field.zero()
+        for coefficient, share in zip(coefficients, subset):
+            secret = secret + coefficient * share.value
+        return secret

@@ -1,0 +1,68 @@
+"""Input distribution ensembles and the achievability classes of Section 5."""
+
+from .base import Distribution, Ensemble
+from .classes import (
+    ALL,
+    CHAIN,
+    PHI,
+    PSI_C,
+    PSI_L,
+    SINGLETON,
+    UNIFORM,
+    DistributionClass,
+    claim_56_witnesses,
+    representatives,
+)
+from .correlated import (
+    all_equal,
+    leaky_singleton,
+    near_product_mixture,
+    noisy_copy,
+    parity,
+)
+from .standard import (
+    all_singletons,
+    bernoulli_ensemble,
+    bernoulli_product,
+    singleton,
+    singleton_ensemble,
+    uniform,
+    uniform_ensemble,
+)
+from .testers import (
+    empirical_distribution,
+    estimate_local_independence_gap,
+    estimate_product_gap,
+    sampler_of,
+)
+
+__all__ = [
+    "Distribution",
+    "Ensemble",
+    "DistributionClass",
+    "ALL",
+    "CHAIN",
+    "PHI",
+    "PSI_C",
+    "PSI_L",
+    "SINGLETON",
+    "UNIFORM",
+    "claim_56_witnesses",
+    "representatives",
+    "uniform",
+    "singleton",
+    "all_singletons",
+    "bernoulli_product",
+    "uniform_ensemble",
+    "singleton_ensemble",
+    "bernoulli_ensemble",
+    "all_equal",
+    "parity",
+    "noisy_copy",
+    "near_product_mixture",
+    "leaky_singleton",
+    "empirical_distribution",
+    "estimate_product_gap",
+    "estimate_local_independence_gap",
+    "sampler_of",
+]

@@ -1,0 +1,119 @@
+"""Exact (table-based) CR and G gaps of honest executions.
+
+Under a correct protocol with no active deviation, the announced vector
+*is* the input vector, so the quantities inside Definitions 4.3 and 4.4
+become properties of the input distribution alone and can be computed
+exactly from its probability table — no sampling, no error bars.  This
+gives Lemma 5.2 and Lemma 5.4 an analytic verification path next to the
+empirical one:
+
+* :func:`exact_cr_gap` — max over coordinates i and predicates R of
+  ``|P(x_i = 0)·P(R(x_{¬i})) − P(x_i = 0 ∧ R(x_{¬i}))|``; this is the
+  floor *any* correct protocol's CR gap inherits from the distribution.
+* :func:`exact_g_gap` — max over corrupted i, bit b and honest-projection
+  pairs r, s of ``|P(x_i = b | x_H = r) − P(x_i = b | x_H = s)|``; the
+  floor for the G gap under a passively corrupted set.
+
+Sampling estimators converge to these values (see
+``tests/test_distributions_analytic.py``), which is also how the
+estimators themselves are validated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..core.predicates import Predicate, default_family
+from ..errors import DistributionError
+from .base import Distribution
+
+
+def exact_cr_gap(
+    distribution: Distribution,
+    predicates: Optional[Sequence[Predicate]] = None,
+    coordinates: Optional[Iterable[int]] = None,
+) -> Tuple[float, str]:
+    """The exact CR quantity of the distribution itself; returns (gap, witness).
+
+    ``coordinates`` restricts the honest-party index i (defaults to all).
+    """
+    n = distribution.n
+    if predicates is None:
+        predicates = default_family(n)
+    if coordinates is None:
+        coordinates = range(1, n + 1)
+
+    worst = 0.0
+    witness = ""
+    support = distribution.support()
+    for i in coordinates:
+        if not 1 <= i <= n:
+            raise DistributionError(f"coordinate {i} out of range")
+        p_zero = sum(
+            distribution.probability(x) for x in support if x[i - 1] == 0
+        )
+        for predicate in predicates:
+            p_pred = 0.0
+            p_joint = 0.0
+            for x in support:
+                probability = distribution.probability(x)
+                if predicate(x, i):
+                    p_pred += probability
+                    if x[i - 1] == 0:
+                        p_joint += probability
+            gap = abs(p_zero * p_pred - p_joint)
+            if gap > worst:
+                worst = gap
+                witness = f"coordinate {i}, R = {predicate.name}"
+    return worst, witness
+
+
+def exact_g_gap(
+    distribution: Distribution,
+    corrupted: Iterable[int],
+) -> Tuple[float, str]:
+    """The exact G quantity under passive corruption; returns (gap, witness).
+
+    For each corrupted coordinate i, compares
+    ``P(x_i = b | x_honest = r)`` across all honest projections r, s in the
+    support of the honest marginal — exactly Definition 4.4 with W = x.
+    """
+    n = distribution.n
+    corrupted = sorted(set(corrupted))
+    if not corrupted:
+        return 0.0, "no corrupted coordinates (vacuous)"
+    if any(not 1 <= i <= n for i in corrupted):
+        raise DistributionError("corrupted coordinate out of range")
+    honest = [i for i in range(1, n + 1) if i not in corrupted]
+    if not honest:
+        raise DistributionError("at least one coordinate must stay honest")
+
+    honest_marginal = distribution.marginal(honest)
+    projections = honest_marginal.support()
+
+    worst = 0.0
+    witness = ""
+    for i in corrupted:
+        rates = {}
+        for r in projections:
+            conditioned = distribution.conditional(dict(zip(honest, r)))
+            rates[r] = conditioned.marginal([i]).probability((1,))
+        for r, s in itertools.combinations(projections, 2):
+            gap = abs(rates[r] - rates[s])
+            if gap > worst:
+                worst = gap
+                witness = f"coordinate {i}, x_H = {r} vs {s}"
+    return worst, witness
+
+
+def cr_achievability_floor(distribution: Distribution) -> float:
+    """Shorthand: the CR gap every correct protocol inherits (Lemma 5.2)."""
+    gap, _ = exact_cr_gap(distribution)
+    return gap
+
+
+def g_achievability_floor(distribution: Distribution, corrupted: Iterable[int]) -> float:
+    """Shorthand: the G gap every correct protocol inherits (Lemma 5.4)."""
+    gap, _ = exact_g_gap(distribution, corrupted)
+    return gap

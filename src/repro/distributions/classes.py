@@ -1,0 +1,137 @@
+"""The achievability classes of Section 5, as executable membership oracles.
+
+For each independence definition N the paper identifies the class D(N) of
+input distributions under which N is achievable:
+
+====================  ===========================================  ========
+class                  membership criterion                          D(·)
+====================  ===========================================  ========
+``SINGLETON``          a point mass                                  —
+``UNIFORM``            the uniform distribution                      —
+``PHI``                exactly a product of independent marginals    —
+``PSI_L`` (Ψ_L,n)      local-independence gap ≤ tolerance            D(G)
+``PSI_C`` (Ψ_C,n)      TV distance to a product ≤ tolerance          D(CR)
+``ALL``                anything                                      D(Sb)
+====================  ===========================================  ========
+
+The paper's Ψ_C is *computational* closeness; at simulation scale we use
+statistical closeness with an explicit tolerance, which is the right
+proxy because every separation witness in the paper exhibits a constant
+(not merely super-negligible) gap.  Claim 5.6's strict chain
+
+    Singleton, Uniform ⊊ D(G) ⊊ D(CR) ⊊ D(Sb)
+
+is regenerated empirically by :func:`claim_56_witnesses`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .base import Distribution
+from .correlated import all_equal, near_product_mixture, parity
+from .standard import bernoulli_product, singleton, uniform
+
+DEFAULT_TOLERANCE = 1e-6
+PSI_C_TOLERANCE = 0.25  # admits δ-mixtures with δ below this, rejects parity/all-equal
+
+
+@dataclass(frozen=True)
+class DistributionClass:
+    """A named class of distributions with a decidable membership oracle."""
+
+    name: str
+    description: str
+    membership: Callable[[Distribution], bool]
+
+    def contains(self, distribution: Distribution) -> bool:
+        return self.membership(distribution)
+
+    def __repr__(self) -> str:
+        return f"DistributionClass({self.name})"
+
+
+def _is_singleton(distribution: Distribution) -> bool:
+    return distribution.is_trivial(tolerance=DEFAULT_TOLERANCE)
+
+
+def _is_uniform(distribution: Distribution) -> bool:
+    return distribution.tv_distance(uniform(distribution.n)) <= DEFAULT_TOLERANCE
+
+
+def _is_product(distribution: Distribution) -> bool:
+    return distribution.product_gap() <= DEFAULT_TOLERANCE
+
+
+def _is_locally_independent(distribution: Distribution) -> bool:
+    return distribution.local_independence_gap() <= DEFAULT_TOLERANCE
+
+
+def _is_computationally_independent(distribution: Distribution) -> bool:
+    return distribution.product_gap() <= PSI_C_TOLERANCE
+
+
+SINGLETON = DistributionClass(
+    "Singleton", "point masses D_α", _is_singleton
+)
+UNIFORM = DistributionClass(
+    "Uniform", "the uniform distribution", _is_uniform
+)
+PHI = DistributionClass(
+    "Phi_n", "exact products of independent coordinate distributions", _is_product
+)
+PSI_L = DistributionClass(
+    "Psi_L,n = D(G)",
+    "locally independent: conditionals match marginals (Section 5.2)",
+    _is_locally_independent,
+)
+PSI_C = DistributionClass(
+    "Psi_C,n = D(CR)",
+    "computationally independent: close to some product (Section 5.1)",
+    _is_computationally_independent,
+)
+ALL = DistributionClass("All = D(Sb)", "all input distributions", lambda _d: True)
+
+CHAIN = (SINGLETON, UNIFORM, PSI_L, PSI_C, ALL)
+
+
+def claim_56_witnesses(n: int) -> Dict[str, Dict[str, object]]:
+    """Witness distributions regenerating each strict inclusion of Claim 5.6.
+
+    Returns, for each inclusion ``A ⊊ B``, a witness distribution that is a
+    member of B but not of A, together with its measured membership bits.
+    """
+    witnesses = {
+        "Singleton ⊊ D(G)": uniform(n),
+        "Uniform ⊊ D(G)": bernoulli_product([0.3] + [0.5] * (n - 1)),
+        "D(G) ⊊ D(CR)": near_product_mixture(n, delta=0.1),
+        "D(CR) ⊊ D(Sb)": parity(n),
+        "D(CR) ⊊ D(Sb) (alt)": all_equal(n),
+    }
+    report: Dict[str, Dict[str, object]] = {}
+    for label, distribution in witnesses.items():
+        report[label] = {
+            "distribution": distribution.name,
+            "singleton": SINGLETON.contains(distribution),
+            "uniform": UNIFORM.contains(distribution),
+            "psi_l": PSI_L.contains(distribution),
+            "psi_c": PSI_C.contains(distribution),
+            "all": True,
+        }
+    return report
+
+
+def representatives(n: int) -> Dict[str, List[Distribution]]:
+    """Representative members per class, used by the experiment harness."""
+    return {
+        "Singleton": [singleton([0] * n), singleton([1] + [0] * (n - 1))],
+        "Uniform": [uniform(n)],
+        "D(G)": [
+            uniform(n),
+            bernoulli_product([0.3] + [0.5] * (n - 1)),
+            bernoulli_product([0.7, 0.2] + [0.5] * (n - 2)),
+        ],
+        "D(CR)": [near_product_mixture(n, delta=0.1)],
+        "All": [parity(n), all_equal(n)],
+    }

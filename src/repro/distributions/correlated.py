@@ -1,0 +1,109 @@
+"""Correlated input distributions: the witnesses for Section 5's negative results.
+
+* :func:`all_equal` — all parties hold the same uniform bit.  Far from any
+  product distribution: the witness that D(CR) ≠ All (Lemma 5.2).
+* :func:`parity` — uniform over even-parity vectors.  Every proper
+  marginal is exactly uniform, yet conditioning on n-1 coordinates pins
+  the last one: outside Ψ_L with maximal gap, while only moderately far
+  from product — a witness used against G-Independence (Lemma 5.4).
+* :func:`noisy_copy` — coordinate 2 is a noisy copy of coordinate 1.
+* :func:`near_product_mixture` — (1−δ)·Uniform + δ·AllEqual: within δ of a
+  product distribution (so inside Ψ_C for small δ) but with conditional
+  gaps of order 1/2 (so outside Ψ_L): the witness that Ψ_L ⊊ Ψ_C in
+  Claim 5.6.
+* :func:`leaky_singleton` — the D′ construction from the proof of
+  Lemma 6.2: coordinate ℓ is Bernoulli(p) and every other coordinate is
+  pinned to a fixed string.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Sequence
+
+from ..errors import DistributionError
+from .base import Distribution, Vector
+from .standard import uniform
+
+
+def all_equal(n: int, bias: float = 0.5) -> Distribution:
+    """P(0^n) = 1 - bias, P(1^n) = bias."""
+    if not 0.0 < bias < 1.0:
+        raise DistributionError("bias must be in (0, 1) for a non-trivial distribution")
+    return Distribution(
+        n,
+        {tuple([0] * n): 1.0 - bias, tuple([1] * n): bias},
+        name=f"all-equal-{n}",
+    )
+
+
+def parity(n: int, even: bool = True) -> Distribution:
+    """Uniform over the 2^(n-1) vectors of even (or odd) parity."""
+    if n < 2:
+        raise DistributionError("parity needs n >= 2")
+    target = 0 if even else 1
+    table: Dict[Vector, float] = {}
+    weight = 1.0 / (2 ** (n - 1))
+    for vector in itertools.product((0, 1), repeat=n):
+        if sum(vector) % 2 == target:
+            table[vector] = weight
+    return Distribution(n, table, name=f"parity-{n}-{'even' if even else 'odd'}")
+
+
+def noisy_copy(n: int, flip_probability: float = 0.1) -> Distribution:
+    """x_1 uniform; x_2 = x_1 ⊕ Bernoulli(flip); the rest uniform independent."""
+    if n < 2:
+        raise DistributionError("noisy_copy needs n >= 2")
+    if not 0.0 <= flip_probability <= 1.0:
+        raise DistributionError("flip probability must be in [0, 1]")
+    table: Dict[Vector, float] = {}
+    tail_weight = 1.0 / (2 ** (n - 2)) if n > 2 else 1.0
+    for vector in itertools.product((0, 1), repeat=n):
+        p1 = 0.5
+        flip = vector[1] != vector[0]
+        p2 = flip_probability if flip else (1.0 - flip_probability)
+        probability = p1 * p2 * tail_weight
+        if probability > 0:
+            table[vector] = probability
+    return Distribution(n, table, name=f"noisy-copy-{n}-{flip_probability}")
+
+
+def near_product_mixture(n: int, delta: float = 0.1) -> Distribution:
+    """(1 − δ)·Uniform + δ·AllEqual — inside Ψ_C, outside Ψ_L for δ ≫ 2^−n."""
+    if not 0.0 < delta < 1.0:
+        raise DistributionError("delta must be in (0, 1)")
+    base = uniform(n)
+    spike = all_equal(n)
+    table: Dict[Vector, float] = {}
+    for vector in itertools.product((0, 1), repeat=n):
+        probability = (1.0 - delta) * base.probability(vector) + delta * spike.probability(vector)
+        if probability > 0:
+            table[vector] = probability
+    return Distribution(n, table, name=f"near-product-{n}-{delta}")
+
+
+def leaky_singleton(n: int, free_coordinate: int, rest: Sequence[int], p: float = 0.5) -> Distribution:
+    """The D′ of Lemma 6.2's proof: one Bernoulli(p) coordinate, rest pinned.
+
+    Args:
+        n: total coordinates.
+        free_coordinate: the 1-based index ℓ left random.
+        rest: the n-1 pinned bits, in increasing coordinate order
+            (skipping ``free_coordinate``).
+        p: P(x_ℓ = 1).
+    """
+    if not 1 <= free_coordinate <= n:
+        raise DistributionError("free coordinate out of range")
+    rest = list(rest)
+    if len(rest) != n - 1:
+        raise DistributionError(f"expected {n - 1} pinned bits, got {len(rest)}")
+    if not 0.0 < p < 1.0:
+        raise DistributionError("p must be in (0, 1) for a non-trivial distribution")
+    table: Dict[Vector, float] = {}
+    for bit, weight in ((0, 1.0 - p), (1, p)):
+        vector = []
+        remaining = iter(rest)
+        for c in range(1, n + 1):
+            vector.append(bit if c == free_coordinate else next(remaining))
+        table[tuple(vector)] = weight
+    return Distribution(n, table, name=f"leaky-singleton-{n}@{free_coordinate}")

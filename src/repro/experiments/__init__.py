@@ -1,0 +1,21 @@
+"""The reproduction experiments: one module per claim/lemma/figure.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for measured
+results.  Run everything with::
+
+    python -m repro.experiments
+
+or programmatically via :func:`repro.experiments.registry.run_all`.
+"""
+
+from .common import ExperimentConfig, ExperimentResult
+from .registry import REGISTRY, TITLES, run_all, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "REGISTRY",
+    "TITLES",
+    "run_all",
+    "run_experiment",
+]

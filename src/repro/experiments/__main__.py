@@ -1,0 +1,44 @@
+"""CLI driver: ``python -m repro.experiments [EXPERIMENT_ID ...] [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .common import ExperimentConfig
+from .registry import REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(REGISTRY),
+        help=f"experiment ids (default: all of {sorted(REGISTRY)})",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
+    parser.add_argument("--n", type=int, default=5, help="number of parties")
+    parser.add_argument("--t", type=int, default=2, help="corruption bound")
+    parser.add_argument("--seed", type=int, default=20050717)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(n=args.n, t=args.t, seed=args.seed, scale=args.scale)
+    failures = 0
+    for experiment_id in args.experiments or list(REGISTRY):
+        start = time.time()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"  ({elapsed:.1f}s)\n")
+        if not result.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""E-ABL — ablation: what each defence in commit-then-reveal buys.
+
+The three commit-then-reveal protocols differ in two mechanisms: a proof
+of knowledge of the committed value (interactive in Chor–Rabin,
+Fiat–Shamir in Gennaro, absent in the naive ablation) and an identity tag
+inside the committed message (present in both real protocols, absent in
+the naive one).  Against the rushing commit-echo adversary:
+
+* the naive protocol is fully copied — the corrupted announced value
+  tracks the victim's input with G** gap 1;
+* both hardened protocols reject the replay and announce the default,
+  gap 0.
+
+The table also records the price of the defences: rounds and wall-clock
+per execution — the efficiency-vs-independence trade the paper's
+narrative revolves around.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..adversaries import CommitEchoAdversary
+from ..analysis import render_table
+from ..core import g_star_star_report
+from ..protocols import ChorRabinBroadcast, GennaroBroadcast, NaiveCommitReveal
+from .common import ExperimentConfig, ExperimentResult, decision_mark
+
+EXPERIMENT_ID = "E-ABL"
+TITLE = "Ablation — proofs of knowledge and identity tags in commit-reveal"
+
+CONFIGS = (
+    ("naive (no PoK, no tag)", NaiveCommitReveal, "naive:commit", "naive:reveal"),
+    ("gennaro (NIZK PoK + tag)", GennaroBroadcast, "gen:commit", "gen:reveal"),
+    ("chor-rabin (interactive PoK + tag)", ChorRabinBroadcast, "cr:commit", "cr:reveal"),
+)
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    n, t, k = config.n, config.t, config.security_bits
+    per_point = config.samples(100, floor=40)
+
+    rows = []
+    tracking = {}
+    for label, cls, commit_tag, reveal_tag in CONFIGS:
+        protocol = (
+            cls(n, t) if cls is NaiveCommitReveal else cls(n, t, security_bits=k)
+        )
+        echo = lambda ct=commit_tag, rt=reveal_tag: CommitEchoAdversary(
+            copier=n, target=1, commit_tag=ct, reveal_tag=rt
+        )
+        report = g_star_star_report(
+            protocol, echo, per_point, config.rng(80 + len(label)),
+            honest_assignments=[(0,) * (n - 1), (1,) + (0,) * (n - 2)],
+            corrupted_assignments=[(0,)],
+        )
+        tracking[label] = report
+
+        start = time.perf_counter()
+        execution = protocol.run([1, 0, 1, 1, 0][:n] + [0] * max(0, n - 5), seed=1)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        rows.append(
+            [
+                label,
+                f"{report.gap:.3f}",
+                decision_mark(report),
+                execution.communication_rounds,
+                f"{elapsed_ms:.1f}",
+            ]
+        )
+
+    naive_report = tracking["naive (no PoK, no tag)"]
+    hardened = [r for label, r in tracking.items() if "naive" not in label]
+    passed = naive_report.violated and all(not r.violated for r in hardened)
+
+    table = render_table(
+        ["protocol variant", "copy-tracking gap (G**)", "verdict", "rounds", "ms/run"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={label: report.gap for label, report in tracking.items()},
+        passed=passed,
+        notes=[
+            "stripping the PoK and tag converts a simultaneous broadcast into"
+            " a copyable one — the copy-tracking gap jumps from 0 to 1"
+        ],
+    )

@@ -1,0 +1,100 @@
+"""E-C56 — Claim 5.6: Singleton, Uniform ⊊ D(G) ⊊ D(CR) ⊊ D(Sb).
+
+Regenerates the strict inclusion chain of distribution classes with
+measured membership bits for a battery of distributions, including the
+witness for each strict inclusion.
+"""
+
+from __future__ import annotations
+
+from ..analysis import render_table
+from ..distributions import (
+    ALL,
+    PSI_C,
+    PSI_L,
+    SINGLETON,
+    UNIFORM,
+    all_equal,
+    bernoulli_product,
+    near_product_mixture,
+    noisy_copy,
+    parity,
+    singleton,
+    uniform,
+)
+from .common import ExperimentConfig, ExperimentResult
+
+EXPERIMENT_ID = "E-C56"
+TITLE = "Claim 5.6 — the achievable-distribution chain"
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    n = config.n
+    battery = [
+        singleton([0] * n),
+        singleton([1] * n),
+        uniform(n),
+        bernoulli_product([0.3] + [0.5] * (n - 1)),
+        near_product_mixture(n, delta=0.1),
+        noisy_copy(n, flip_probability=0.05),
+        parity(n),
+        all_equal(n),
+    ]
+    rows = []
+    memberships = {}
+    for distribution in battery:
+        bits = {
+            "Singleton": SINGLETON.contains(distribution),
+            "Uniform": UNIFORM.contains(distribution),
+            "D(G)": PSI_L.contains(distribution),
+            "D(CR)": PSI_C.contains(distribution),
+            "D(Sb)": ALL.contains(distribution),
+        }
+        memberships[distribution.name] = bits
+        rows.append(
+            [distribution.name]
+            + ["yes" if bits[c] else "no" for c in ("Singleton", "Uniform", "D(G)", "D(CR)", "D(Sb)")]
+            + [f"{distribution.product_gap():.3f}", f"{distribution.local_independence_gap():.3f}"]
+        )
+
+    # The chain is verified if membership is monotone along the chain for
+    # every distribution, and each strict inclusion has a witness.
+    chain = ("D(G)", "D(CR)", "D(Sb)")
+    monotone = all(
+        all(
+            (not bits[chain[i]]) or bits[chain[i + 1]]
+            for i in range(len(chain) - 1)
+        )
+        and ((not bits["Singleton"]) or bits["D(G)"])
+        and ((not bits["Uniform"]) or bits["D(G)"])
+        for bits in memberships.values()
+    )
+    witnesses = {
+        "Singleton ⊊ D(G)": any(
+            b["D(G)"] and not b["Singleton"] for b in memberships.values()
+        ),
+        "Uniform ⊊ D(G)": any(
+            b["D(G)"] and not b["Uniform"] for b in memberships.values()
+        ),
+        "D(G) ⊊ D(CR)": any(
+            b["D(CR)"] and not b["D(G)"] for b in memberships.values()
+        ),
+        "D(CR) ⊊ D(Sb)": any(
+            b["D(Sb)"] and not b["D(CR)"] for b in memberships.values()
+        ),
+    }
+    passed = monotone and all(witnesses.values())
+
+    table = render_table(
+        ["distribution", "Singleton", "Uniform", "D(G)", "D(CR)", "D(Sb)", "prod-gap", "local-gap"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={"memberships": memberships, "witnesses": witnesses, "monotone": monotone},
+        passed=passed,
+        notes=[f"strict-inclusion witness {k}: {'found' if v else 'MISSING'}" for k, v in witnesses.items()],
+    )

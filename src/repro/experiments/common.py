@@ -1,0 +1,117 @@
+"""Shared infrastructure for the reproduction experiments.
+
+Every experiment is a function ``run(config) -> ExperimentResult``; the
+result carries a rendered table (what the harness prints), structured
+data (what the benchmarks assert on), and a ``passed`` flag meaning "the
+measured behaviour matches the paper's claim".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..adversaries import (
+    InputSubstitution,
+    PassiveAdversary,
+    SequentialCopier,
+    XorAttacker,
+)
+from ..core import MeasurementBudget
+from ..protocols import (
+    CGMABroadcast,
+    ChorRabinBroadcast,
+    GennaroBroadcast,
+    IdealSimultaneousBroadcast,
+    PiGBroadcast,
+    SequentialBroadcast,
+)
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    ``scale`` shrinks all sample counts uniformly — the benchmarks run at
+    scale << 1, the EXPERIMENTS.md numbers at scale = 1.
+    """
+
+    n: int = 5
+    t: int = 2
+    security_bits: int = 24
+    security_levels: tuple = (16, 24, 32)
+    seed: int = 20050717  # PODC'05 started July 17, 2005.
+    scale: float = 1.0
+
+    def rng(self, salt: int = 0) -> random.Random:
+        return random.Random(self.seed * 1_000_003 + salt)
+
+    def budget(self) -> MeasurementBudget:
+        return MeasurementBudget().scaled(self.scale)
+
+    def samples(self, base: int, floor: int = 10) -> int:
+        return max(floor, int(base * self.scale))
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    table: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    passed: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "MISMATCH"
+        lines = [f"[{self.experiment_id}] {self.title} — {status}", "", self.table]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+# -- protocol & adversary shorthands used across experiments ------------------------
+
+
+def standard_protocols(config: ExperimentConfig) -> Dict[str, Any]:
+    """The protocol zoo at the experiment's parameters."""
+    n, t, k = config.n, config.t, config.security_bits
+    return {
+        "sequential": SequentialBroadcast(n, t),
+        "ideal-sb": IdealSimultaneousBroadcast(n, t),
+        "cgma": CGMABroadcast(n, t, security_bits=k),
+        "chor-rabin": ChorRabinBroadcast(n, t, security_bits=k),
+        "gennaro": GennaroBroadcast(n, t, security_bits=k),
+        "pi-g": PiGBroadcast(n, t, backend="ideal"),
+    }
+
+
+def copier_factory(protocol: SequentialBroadcast):
+    """The Section 3.2 echo adversary for the sequential baseline."""
+    return lambda: SequentialCopier(copier=protocol.n, target=1)
+
+
+def xor_factory(protocol: PiGBroadcast):
+    """A* of Claim 6.6 (corrupts the first two parties)."""
+    return lambda: XorAttacker(protocol, corrupted_pair=[1, 2])
+
+
+def passive_factory(corrupted):
+    return lambda: PassiveAdversary(corrupted=list(corrupted))
+
+
+def substitution_factory(protocol, corrupted, value=0):
+    return lambda: InputSubstitution(protocol, corrupted=list(corrupted), substitution=value)
+
+
+def decision_mark(report) -> str:
+    """Short table cell for a report's decision."""
+    from ..analysis import Decision
+
+    return {
+        Decision.CONSISTENT: "ok",
+        Decision.VIOLATED: "VIOLATED",
+        Decision.INCONCLUSIVE: "??",
+    }[report.decision]

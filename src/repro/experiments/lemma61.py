@@ -1,0 +1,92 @@
+"""E-L61 — Lemma 6.1: (D(CR), Sb)-Independence implies (D(CR), CR)-Independence.
+
+Two pieces of evidence, mirroring the lemma and its contrapositive proof:
+
+1. **Forward**: the Sb-independent protocol (CGMA) measured over D(CR)
+   representatives is also CR-consistent there, under a suite of
+   adversaries.
+2. **Contrapositive** (how the proof in Appendix A.1 works): a protocol
+   that fails CR (sequential + copier) must also fail Sb — the proof
+   *constructs* an Sb distinguisher from the CR witness predicate, and we
+   measure both failures on the same configuration.
+"""
+
+from __future__ import annotations
+
+from ..analysis import render_table
+from ..core import HONEST, cr_report, sb_report
+from ..distributions import bernoulli_product, near_product_mixture, uniform
+from .common import (
+    ExperimentConfig,
+    ExperimentResult,
+    copier_factory,
+    decision_mark,
+    standard_protocols,
+    substitution_factory,
+)
+
+EXPERIMENT_ID = "E-L61"
+TITLE = "Lemma 6.1 — Sb implies CR over D(CR)"
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    protocols = standard_protocols(config)
+    n = config.n
+    samples = config.samples(400, floor=300)
+    per_point = config.samples(60, floor=5)
+
+    representatives = [
+        uniform(n),
+        bernoulli_product([0.3] + [0.5] * (n - 1)),
+        near_product_mixture(n, delta=0.05),
+    ]
+
+    rows = []
+    forward_ok = True
+    cgma = protocols["cgma"]
+    suite = {
+        "honest": HONEST,
+        "input-sub": substitution_factory(cgma, corrupted=[n], value=1),
+    }
+    for distribution in representatives:
+        for label, factory in suite.items():
+            sb = sb_report(
+                cgma,
+                factory,
+                per_point,
+                config.rng(10),
+                input_vectors=distribution.support()[:8],
+            )
+            cr = cr_report(cgma, distribution, factory, samples, config.rng(11))
+            premise = not sb.violated
+            conclusion = not cr.violated
+            forward_ok &= premise and conclusion
+            rows.append(
+                ["forward", f"cgma/{label}", distribution.name,
+                 f"Sb {decision_mark(sb)}", f"CR {decision_mark(cr)}"]
+            )
+
+    # Contrapositive: CR failure entails Sb failure on the same configuration.
+    sequential = protocols["sequential"]
+    copier = copier_factory(sequential)
+    cr = cr_report(sequential, uniform(n), copier, samples, config.rng(12))
+    sb = sb_report(sequential, copier, per_point, config.rng(13))
+    contrapositive_ok = cr.violated and sb.violated
+    rows.append(
+        ["contrapositive", "sequential/copier", uniform(n).name,
+         f"Sb {decision_mark(sb)}", f"CR {decision_mark(cr)}"]
+    )
+
+    passed = forward_ok and contrapositive_ok
+    table = render_table(
+        ["direction", "protocol/adversary", "distribution", "premise", "conclusion"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={"forward_ok": forward_ok, "contrapositive_ok": contrapositive_ok},
+        passed=passed,
+    )

@@ -1,0 +1,89 @@
+"""E-P63 — Proposition 6.3: Singleton is trivial for CR but not for Sb.
+
+*Trivial for CR*: under a point-mass input distribution every announced
+coordinate is (nearly) constant, so every probability in Definition 4.3
+factorizes and the CR gap vanishes — for **every** protocol, including
+the blatantly insecure sequential+copier configuration.
+
+*Not trivial for Sb*: Definition 4.2 demands one simulator that works for
+all singletons simultaneously, and the copier's announced value tracks
+the honest input across different singletons, which no simulator seeing
+only x_B can reproduce.
+"""
+
+from __future__ import annotations
+
+from ..analysis import render_table
+from ..core import HONEST, cr_report, sb_report
+from ..distributions import singleton
+from .common import (
+    ExperimentConfig,
+    ExperimentResult,
+    copier_factory,
+    decision_mark,
+    standard_protocols,
+)
+
+EXPERIMENT_ID = "E-P63"
+TITLE = "Proposition 6.3 — Singleton: trivial for CR, not for Sb"
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    protocols = standard_protocols(config)
+    n = config.n
+    samples = config.samples(300)
+    per_point = config.samples(60, floor=5)
+    singletons = [
+        tuple([0] * n),
+        tuple([1] * n),
+        tuple([1] + [0] * (n - 1)),
+        tuple([0] * (n - 1) + [1]),
+    ]
+
+    rows = []
+    # CR under every singleton, for every protocol, under its worst adversary.
+    cr_all_trivial = True
+    for name, protocol in protocols.items():
+        factory = copier_factory(protocol) if name == "sequential" else HONEST
+        worst_gap = 0.0
+        worst_mark = "ok"
+        for fixed in singletons:
+            report = cr_report(
+                protocol, singleton(fixed), factory, samples, config.rng(30)
+            )
+            if report.gap > worst_gap:
+                worst_gap = report.gap
+                worst_mark = decision_mark(report)
+            cr_all_trivial &= not report.violated
+        adversary_label = "copier" if name == "sequential" else "honest"
+        rows.append([name, adversary_label, "CR", f"{worst_gap:.3f}", worst_mark])
+
+    # Sb over the Singleton *class*: the copier is exposed.
+    sequential = protocols["sequential"]
+    sb = sb_report(
+        sequential,
+        copier_factory(sequential),
+        per_point,
+        config.rng(31),
+        input_vectors=singletons,
+    )
+    rows.append(["sequential", "copier", "Sb over Singleton class", f"{sb.gap:.3f}", decision_mark(sb)])
+
+    passed = cr_all_trivial and sb.violated
+    table = render_table(
+        ["protocol", "adversary", "definition", "worst gap", "verdict"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={"cr_all_trivial": cr_all_trivial, "sb_gap": sb.gap},
+        passed=passed,
+        notes=[
+            "CR cannot distinguish the copier under any fixed input (the class"
+            " is trivial); Sb catches it because one simulator must cover all"
+            " singletons at once"
+        ],
+    )

@@ -1,0 +1,61 @@
+"""The experiment index: id -> runner, plus the run-everything driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ExperimentError
+from . import (
+    ablation,
+    appendix_b,
+    claim56,
+    claim66,
+    figure1,
+    lemma52,
+    lemma54,
+    lemma61,
+    lemma62,
+    lemma64,
+    prop63,
+    rounds,
+    trend_k,
+)
+from .common import ExperimentConfig, ExperimentResult
+
+_MODULES = (
+    figure1,
+    claim56,
+    lemma52,
+    lemma54,
+    lemma61,
+    lemma62,
+    prop63,
+    lemma64,
+    claim66,
+    rounds,
+    trend_k,
+    ablation,
+    appendix_b,
+)
+
+REGISTRY: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODULES}
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig = ExperimentConfig()
+) -> ExperimentResult:
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return runner(config)
+
+
+def run_all(config: ExperimentConfig = ExperimentConfig()) -> List[ExperimentResult]:
+    return [run_experiment(experiment_id, config) for experiment_id in REGISTRY]

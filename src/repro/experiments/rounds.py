@@ -1,0 +1,92 @@
+"""E-RND — the round-complexity comparison motivating the paper.
+
+Section 1's narrative: [7] costs Θ(n) rounds, [8] improves to Θ(log n),
+[12] reaches O(1) — and the price of that efficiency gain is the
+definitional weakening the paper dissects.  We measure the communication
+rounds of every protocol as n grows, plus the CGMA parallel-dealing
+ablation showing where CGMA's linearity comes from.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis import render_table
+from ..protocols import (
+    CGMABroadcast,
+    CGMAParallelDealing,
+    ChorRabinBroadcast,
+    GennaroBroadcast,
+    SequentialBroadcast,
+)
+from .common import ExperimentConfig, ExperimentResult
+
+EXPERIMENT_ID = "E-RND"
+TITLE = "Round complexity: linear [7] vs logarithmic [8] vs constant [12]"
+
+DEFAULT_SIZES = (4, 6, 8, 12, 16)
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    sizes = [n for n in DEFAULT_SIZES if config.scale >= 1.0 or n <= 8]
+    k = min(config.security_bits, 16)  # round counts don't depend on k
+
+    measured = {}
+    rows = []
+    for n in sizes:
+        t = 1
+        protocols = {
+            "sequential": SequentialBroadcast(n, t),
+            "cgma": CGMABroadcast(n, t, security_bits=k),
+            "cgma-parallel": CGMAParallelDealing(n, t, security_bits=k),
+            "chor-rabin": ChorRabinBroadcast(n, t, security_bits=k),
+            "gennaro": GennaroBroadcast(n, t, security_bits=k),
+        }
+        row = [n]
+        for name, protocol in protocols.items():
+            execution = protocol.run([i % 2 for i in range(n)], seed=config.seed)
+            rounds = execution.communication_rounds
+            measured.setdefault(name, {})[n] = rounds
+            row.append(rounds)
+        rows.append(row)
+
+    # Shape checks: who grows how.
+    n_lo, n_hi = sizes[0], sizes[-1]
+    ratio = n_hi / n_lo
+    linear_sequential = measured["sequential"][n_hi] == n_hi
+    linear_cgma = (
+        measured["cgma"][n_hi] / measured["cgma"][n_lo] >= 0.8 * ratio
+    )
+    log_chor_rabin = (
+        measured["chor-rabin"][n_hi]
+        == 1 + 3 * math.ceil(math.log2(n_hi)) + 2
+    )
+    sublinear_chor_rabin = measured["chor-rabin"][n_hi] < measured["cgma"][n_hi] / 2
+    constant_gennaro = len(set(measured["gennaro"].values())) == 1
+    constant_ablation = len(set(measured["cgma-parallel"].values())) == 1
+    passed = (
+        linear_sequential
+        and linear_cgma
+        and log_chor_rabin
+        and sublinear_chor_rabin
+        and constant_gennaro
+        and constant_ablation
+    )
+
+    table = render_table(
+        ["n", "sequential", "cgma", "cgma-parallel", "chor-rabin", "gennaro"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={"rounds": measured},
+        passed=passed,
+        notes=[
+            "cgma grows linearly (3n+1), chor-rabin logarithmically (3·ceil(log2 n)+3),",
+            "gennaro is constant (2); the cgma-parallel ablation shows the linear",
+            "round cost comes from sequential dealing, not from VSS itself",
+        ],
+    )

@@ -1,0 +1,99 @@
+"""E-TRD — negligibility trends across the security parameter k.
+
+"Negligible in k" is the quantifier every definition bottoms out in; a
+single-k measurement cannot certify it.  This experiment re-measures the
+key gaps at k ∈ {16, 24, 32} (the Schnorr-group size of the crypto layer)
+and applies the trend rule of :mod:`repro.analysis.trend`:
+
+* the Π_G/A* CR gap is an *algebraic* property of the function g — it
+  must sit at p(1−p) ≈ 0.25 at every k (a constant-gap, k-independent
+  attack: VIOLATED);
+* the CGMA honest CR gap is sampling noise at every k and must not grow
+  (CONSISTENT);
+* the Gennaro copy-echo success (measured as the G** tracking gap of the
+  copier) is 0 at every k — the proof-of-knowledge rejection does not
+  degrade as parameters shrink within the tested range.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import CommitEchoAdversary
+from ..analysis import Decision, assess_trend, render_table
+from ..core import HONEST, cr_report, g_star_star_report
+from ..distributions import uniform
+from ..protocols import CGMABroadcast, GennaroBroadcast, PiGBroadcast
+from .common import ExperimentConfig, ExperimentResult, xor_factory
+
+EXPERIMENT_ID = "E-TRD"
+TITLE = "Negligibility trends across the security parameter k"
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    n, t = config.n, config.t
+    levels = config.security_levels
+    cr_samples = config.samples(400, floor=300)
+    per_point = config.samples(120, floor=60)
+
+    rows = []
+    verdicts = {}
+
+    # ---- Pi_G under A*: the attack is k-independent ------------------------------
+    gaps, errors = {}, {}
+    for k in levels:
+        protocol = PiGBroadcast(n, t, backend="ideal", security_bits=k)
+        report = cr_report(
+            protocol, uniform(n), xor_factory(protocol), cr_samples, config.rng(50 + k)
+        )
+        gaps[k], errors[k] = report.gap, report.error
+    verdicts["pi-g/A* CR"] = assess_trend(gaps, errors)
+    rows.append(["pi-g/A*", "CR gap"] + [f"{gaps[k]:.3f}" for k in levels]
+                + [verdicts["pi-g/A* CR"].decision.value])
+
+    # ---- CGMA honest: noise at every k --------------------------------------------
+    gaps, errors = {}, {}
+    for k in levels:
+        protocol = CGMABroadcast(n, t, security_bits=k)
+        report = cr_report(protocol, uniform(n), HONEST, cr_samples, config.rng(60 + k))
+        gaps[k], errors[k] = report.gap, report.error
+    verdicts["cgma/honest CR"] = assess_trend(gaps, errors)
+    rows.append(["cgma/honest", "CR gap"] + [f"{gaps[k]:.3f}" for k in levels]
+                + [verdicts["cgma/honest CR"].decision.value])
+
+    # ---- Gennaro vs the copy-echo: rejection at every k ----------------------------
+    gaps, errors = {}, {}
+    for k in levels:
+        protocol = GennaroBroadcast(n, t, security_bits=k)
+        echo = lambda: CommitEchoAdversary(
+            copier=n, target=1, commit_tag="gen:commit", reveal_tag="gen:reveal"
+        )
+        report = g_star_star_report(
+            protocol, echo, per_point, config.rng(70 + k),
+            honest_assignments=[(0,) * (n - 1), (1,) + (0,) * (n - 2)],
+            corrupted_assignments=[(0,)],
+        )
+        gaps[k], errors[k] = report.gap, report.error
+    verdicts["gennaro/echo G**"] = assess_trend(gaps, errors)
+    rows.append(["gennaro/echo", "G** tracking gap"] + [f"{gaps[k]:.3f}" for k in levels]
+                + [verdicts["gennaro/echo G**"].decision.value])
+
+    passed = (
+        verdicts["pi-g/A* CR"].decision == Decision.VIOLATED
+        and verdicts["cgma/honest CR"].decision == Decision.CONSISTENT
+        and verdicts["gennaro/echo G**"].decision == Decision.CONSISTENT
+    )
+    table = render_table(
+        ["configuration", "quantity"] + [f"k={k}" for k in levels] + ["trend verdict"],
+        rows,
+        title=TITLE,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table=table,
+        data={name: verdict.decision.value for name, verdict in verdicts.items()},
+        passed=passed,
+        notes=[
+            "the separation gaps are flat in k (they are algebraic, not"
+            " computational); the secure configurations stay at noise level"
+        ],
+    )

@@ -1,0 +1,38 @@
+"""Secure function evaluation substrate: circuits, BGW, trusted-party ideal.
+
+Provides the two backends of protocol Θ (Claim 6.5) and the ideal process
+Ideal(f_SB) of Definition 4.1.
+"""
+
+from .bgw import BGWProtocol, bgw_evaluate
+from .builder import CircuitBuilder
+from .circuit import ADD, CONST, INPUT, MUL, SCALE, SUB, Circuit, Gate
+from .gfunc import GFunctionality, build_g_circuit, g_field, g_reference
+from .ideal import (
+    FSBFunctionality,
+    IdealFunctionality,
+    TrustedPartyMailbox,
+    TrustedPartyProtocol,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "CircuitBuilder",
+    "INPUT",
+    "CONST",
+    "ADD",
+    "SUB",
+    "MUL",
+    "SCALE",
+    "BGWProtocol",
+    "bgw_evaluate",
+    "GFunctionality",
+    "g_reference",
+    "g_field",
+    "build_g_circuit",
+    "IdealFunctionality",
+    "FSBFunctionality",
+    "TrustedPartyMailbox",
+    "TrustedPartyProtocol",
+]

@@ -1,0 +1,212 @@
+"""BGW-style secret-shared circuit evaluation (honest majority, 2t < n).
+
+The classic Ben-Or--Goldwasser--Wigderson construction [2], in its
+semi-honest form with the Gennaro--Rabin--Rabin resharing-based degree
+reduction:
+
+1. *Input round* — every party Shamir-shares each of its input wires.
+2. *Multiplication rounds* — linear gates are local; each layer of
+   multiplication gates costs one round in which parties locally multiply
+   their shares (degree 2t) and reshare the products back down to degree t.
+3. *Output round* — shares of output wires are exchanged and interpolated.
+
+Security holds against t < n/2 passively corrupted parties.  That is all
+Claim 6.5 needs for protocol Θ: the adversary used in Lemma 6.4 deviates
+only by *choosing* its inputs (setting the auxiliary bit), which the ideal
+model permits anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..crypto.field import FieldElement
+from ..crypto.polynomial import lagrange_coefficients_at_zero
+from ..crypto.secret_sharing import ShamirSharing, Share
+from ..errors import InvalidParameterError, ShareError
+from ..net.message import send
+from .circuit import ADD, CONST, INPUT, MUL, SCALE, SUB, Circuit
+
+
+def bgw_evaluate(
+    ctx,
+    circuit: Circuit,
+    my_inputs: Mapping[str, int],
+    t: int,
+    instance: str = "bgw",
+):
+    """Sub-generator: jointly evaluate ``circuit``; returns the output values.
+
+    Args:
+        ctx: party context (``ctx.n`` parties participate).
+        circuit: the arithmetic circuit; its INPUT gates name the owners.
+        my_inputs: this party's input wires by name (missing wires -> 0).
+        t: threshold, must satisfy 2t < ctx.n.
+        instance: message-tag namespace.
+
+    Returns:
+        list of field values, one per circuit output (identical at every
+        honest party).
+    """
+    n = ctx.n
+    if 2 * t >= n:
+        raise InvalidParameterError(f"BGW requires 2t < n (got t={t}, n={n})")
+    field_ = circuit.field
+    sharing = ShamirSharing(field_, t, n)
+    me = ctx.party_id
+    in_tag = f"bgw:{instance}:in"
+    mul_tag = f"bgw:{instance}:mul"
+    out_tag = f"bgw:{instance}:out"
+    lagrange = lagrange_coefficients_at_zero(field_, list(range(1, n + 1)))
+
+    # ---- round 1: share inputs ---------------------------------------------------
+    my_wires = circuit.inputs_of(me)
+    per_recipient: Dict[int, List[Tuple[int, int]]] = {j: [] for j in range(1, n + 1)}
+    for name, gate_id in my_wires:
+        value = field_.element(my_inputs.get(name, 0))
+        _, shares = sharing.share(value, ctx.rng)
+        for j in range(1, n + 1):
+            per_recipient[j].append((gate_id, shares[j].value.value))
+    inbox = yield [
+        send(j, tuple(per_recipient[j]), tag=in_tag) for j in range(1, n + 1)
+    ]
+
+    shares_by_gate: Dict[int, FieldElement] = {}
+    for message in inbox.with_tag(in_tag):
+        try:
+            entries = list(message.payload)
+        except TypeError:
+            continue
+        for entry in entries:
+            try:
+                gate_id, raw = entry
+            except (TypeError, ValueError):
+                continue
+            gate = circuit.gates[gate_id] if 0 <= gate_id < circuit.size else None
+            if gate is None or gate.op != INPUT or gate.owner != message.sender:
+                continue
+            shares_by_gate.setdefault(gate_id, field_.element(raw))
+    # Unshared inputs behave as the public constant 0 (constant zero poly).
+    for owner, name, gate_id in circuit.input_wires():
+        shares_by_gate.setdefault(gate_id, field_.zero())
+
+    # ---- evaluation with batched multiplication rounds ----------------------------
+    shares: Dict[int, FieldElement] = dict(shares_by_gate)
+    cursor = 0
+    while True:
+        pending_muls: List[int] = []
+        while cursor < circuit.size:
+            gate = circuit.gates[cursor]
+            if gate.op in (INPUT,):
+                cursor += 1
+                continue
+            if gate.op == CONST:
+                shares[cursor] = field_.element(gate.constant)
+                cursor += 1
+                continue
+            if any(arg not in shares for arg in gate.args):
+                break  # blocked on a multiplication still in flight
+            if gate.op == ADD:
+                shares[cursor] = shares[gate.args[0]] + shares[gate.args[1]]
+            elif gate.op == SUB:
+                shares[cursor] = shares[gate.args[0]] - shares[gate.args[1]]
+            elif gate.op == SCALE:
+                shares[cursor] = shares[gate.args[0]] * field_.element(gate.constant)
+            elif gate.op == MUL:
+                pending_muls.append(cursor)
+                cursor += 1
+                continue
+            cursor += 1
+        # Drop MULs that were registered but then found computable?  They are
+        # exactly the pending ones: resolve them with one resharing round.
+        pending_muls = [g for g in pending_muls if g not in shares]
+        if not pending_muls and cursor >= circuit.size:
+            break
+        if not pending_muls:
+            raise ShareError("circuit evaluation deadlocked (malformed circuit)")
+
+        # Local degree-2t products, then reshare each down to degree t.
+        per_recipient = {j: [] for j in range(1, n + 1)}
+        for gate_id in pending_muls:
+            gate = circuit.gates[gate_id]
+            product = shares[gate.args[0]] * shares[gate.args[1]]
+            _, subshares = sharing.share(product, ctx.rng)
+            for j in range(1, n + 1):
+                per_recipient[j].append((gate_id, subshares[j].value.value))
+        inbox = yield [
+            send(j, tuple(per_recipient[j]), tag=mul_tag) for j in range(1, n + 1)
+        ]
+        contributions: Dict[int, Dict[int, FieldElement]] = {
+            g: {} for g in pending_muls
+        }
+        for message in inbox.with_tag(mul_tag):
+            try:
+                entries = list(message.payload)
+            except TypeError:
+                continue
+            for entry in entries:
+                try:
+                    gate_id, raw = entry
+                except (TypeError, ValueError):
+                    continue
+                if gate_id in contributions:
+                    contributions[gate_id].setdefault(
+                        message.sender, field_.element(raw)
+                    )
+        for gate_id in pending_muls:
+            received = contributions[gate_id]
+            if len(received) < n:
+                missing = [j for j in range(1, n + 1) if j not in received]
+                raise ShareError(
+                    f"degree reduction missing contributions from {missing}"
+                )
+            reduced = field_.zero()
+            for j in range(1, n + 1):
+                reduced = reduced + lagrange[j - 1] * received[j]
+            shares[gate_id] = reduced
+
+    # ---- output round --------------------------------------------------------------
+    my_output_shares = tuple(
+        (index, shares[gate_id].value) for index, gate_id in enumerate(circuit.outputs)
+    )
+    inbox = yield [send(j, my_output_shares, tag=out_tag) for j in range(1, n + 1)]
+    collected: Dict[int, List[Share]] = {i: [] for i in range(len(circuit.outputs))}
+    for message in inbox.with_tag(out_tag):
+        try:
+            entries = list(message.payload)
+        except TypeError:
+            continue
+        for entry in entries:
+            try:
+                index, raw = entry
+            except (TypeError, ValueError):
+                continue
+            if index in collected and not any(
+                s.x == message.sender for s in collected[index]
+            ):
+                collected[index].append(Share(message.sender, field_.element(raw)))
+
+    outputs: List[FieldElement] = []
+    for index in range(len(circuit.outputs)):
+        outputs.append(sharing.reconstruct(collected[index]))
+    return outputs
+
+
+class BGWProtocol:
+    """Runnable wrapper: every party's input is a dict of wire values."""
+
+    def __init__(self, circuit: Circuit, n: int, t: int):
+        if 2 * t >= n:
+            raise InvalidParameterError(f"BGW requires 2t < n (got t={t}, n={n})")
+        self.circuit = circuit
+        self.n = n
+        self.t = t
+
+    def setup(self, rng):
+        return None
+
+    def program(self, ctx, value):
+        outputs = yield from bgw_evaluate(
+            ctx, self.circuit, dict(value or {}), self.t
+        )
+        return tuple(int(v) for v in outputs)

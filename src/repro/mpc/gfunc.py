@@ -1,0 +1,152 @@
+"""The leaky function ``g`` of Lemma 6.4, as spec and as circuit.
+
+``g`` takes from each party a pair ``(x_i, b_i)`` of bits.  If *exactly
+two* parties raise their auxiliary bit ``b_i`` (the controlled misbehaviour
+of the corrupted parties), the two lowest such indices ``l1 < l2`` receive
+``w_{l1} = r`` and ``w_{l2} = r XOR y`` where ``r`` is a fresh random bit
+and ``y`` is the XOR of everybody else's ``x``; all other coordinates pass
+through unchanged.  Otherwise ``w = x``.  Everyone learns the full vector
+``w``.
+
+The deliberate flaw: each single rigged coordinate is uniform (so no
+*individual* corrupted output correlates with the honest outputs —
+G-Independence holds), but the XOR of all announced values is forced to 0
+(so CR-Independence fails spectacularly; Claim 6.6).
+
+Two forms are provided:
+
+* :func:`g_reference` / :class:`GFunctionality` — direct evaluation, used
+  by the trusted-party backend of protocol Θ;
+* :func:`build_g_circuit` — an arithmetic circuit whose random bit is the
+  XOR of per-party random contributions, used by the BGW backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..crypto.field import PrimeField, next_prime
+from ..errors import InvalidParameterError
+from .builder import CircuitBuilder
+from .circuit import Circuit
+
+
+def _as_bit(value) -> int:
+    try:
+        bit = int(value)
+    except (TypeError, ValueError):
+        return 0
+    return bit if bit in (0, 1) else 0
+
+
+def g_reference(pairs: Sequence[Tuple[int, int]], rng) -> Tuple[int, ...]:
+    """Evaluate g on the list of per-party pairs ``(x_i, b_i)``.
+
+    Invalid entries are coerced to 0, matching the default-input
+    convention.  Returns the public vector ``w``.
+    """
+    n = len(pairs)
+    xs = [_as_bit(p[0]) if isinstance(p, (tuple, list)) and len(p) == 2 else 0 for p in pairs]
+    bs = [_as_bit(p[1]) if isinstance(p, (tuple, list)) and len(p) == 2 else 0 for p in pairs]
+
+    raised = [i for i in range(1, n + 1) if bs[i - 1] == 1]
+    r = rng.randrange(2)
+    if len(raised) == 2:
+        l1, l2 = raised[0], raised[1]
+    else:
+        l1 = l2 = 0
+
+    y = 0
+    for i in range(1, n + 1):
+        if i not in (l1, l2):
+            y ^= xs[i - 1]
+
+    w: List[int] = []
+    for i in range(1, n + 1):
+        if l1 and i == l1:
+            w.append(r)
+        elif l2 and i == l2:
+            w.append(r ^ y)
+        else:
+            w.append(xs[i - 1])
+    return tuple(w)
+
+
+class GFunctionality:
+    """Ideal-functionality wrapper for g: every party receives the vector w."""
+
+    name = "g"
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def evaluate(self, inputs: Dict[int, Tuple[int, int]], rng) -> Dict[int, Tuple[int, ...]]:
+        pairs = [inputs.get(i, (0, 0)) for i in range(1, self.n + 1)]
+        w = g_reference(pairs, rng)
+        return {i: w for i in range(1, self.n + 1)}
+
+
+def g_field(n: int) -> PrimeField:
+    """The canonical BGW field for an n-party evaluation of g."""
+    return PrimeField(next_prime(2 * n + 2))
+
+
+def build_g_circuit(n: int, field_: PrimeField = None) -> Circuit:
+    """Compile g into an arithmetic circuit over GF(p), p > 2n.
+
+    Per-party input wires: ``x`` and ``b`` (the pair from the spec) plus a
+    random contribution ``rho``; the functionality's coin is
+    ``r = XOR_i rho_i``, uniform as long as one contributor is honest.
+    Outputs are the n public wires ``w_1 .. w_n``.
+    """
+    if n < 2:
+        raise InvalidParameterError("g needs at least two parties")
+    if field_ is None:
+        field_ = g_field(n)
+    if field_.modulus <= n:
+        raise InvalidParameterError("field modulus must exceed the party count")
+    builder = CircuitBuilder(field_)
+
+    xs = [builder.input(i, "x") for i in range(1, n + 1)]
+    bs = [builder.input(i, "b") for i in range(1, n + 1)]
+    rhos = [builder.input(i, "rho") for i in range(1, n + 1)]
+
+    # first_i: b_i is the lowest raised bit.
+    not_bs = [builder.bit_not(b) for b in bs]
+    firsts: List[int] = []
+    for i in range(n):
+        if i == 0:
+            firsts.append(bs[0])
+        else:
+            prefix = not_bs[0]
+            for j in range(1, i):
+                prefix = builder.mul(prefix, not_bs[j])
+            firsts.append(builder.mul(bs[i], prefix))
+
+    count = builder.sum(bs)
+    is_two = builder.equals_const(count, 2, n)
+
+    is_l1 = [builder.mul(is_two, firsts[i]) for i in range(n)]
+    is_l2 = [
+        builder.mul(is_two, builder.mul(bs[i], builder.bit_not(firsts[i])))
+        for i in range(n)
+    ]
+    free = [
+        builder.sub(builder.sub(builder.one, is_l1[i]), is_l2[i]) for i in range(n)
+    ]
+
+    r = builder.xor_all(rhos)
+    y = builder.xor_all([builder.mul(xs[i], free[i]) for i in range(n)])
+    r_xor_y = builder.bit_xor(r, y)
+
+    for i in range(n):
+        w_i = builder.sum(
+            [
+                builder.mul(is_l1[i], r),
+                builder.mul(is_l2[i], r_xor_y),
+                builder.mul(free[i], xs[i]),
+            ]
+        )
+        builder.output(w_i)
+
+    return builder.build()

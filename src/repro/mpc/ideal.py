@@ -1,0 +1,110 @@
+"""Trusted-party (ideal-process) evaluation of functionalities.
+
+This is Canetti's ideal process [4] as an executable protocol: every party
+hands its input to an incorruptible trusted party, which evaluates the
+functionality once and returns each party's output.  Submission and
+delivery do not touch the simulated network, so nothing leaks to the
+adversary beyond the outputs themselves — exactly the ideal model.
+
+Timing discipline (mirrors the ideal process with a rushing adversary):
+
+* inputs are collected during round 1;
+* the functionality is *frozen* the first time any party reads a result —
+  which cannot happen before round 2 for honest parties, and even a
+  corrupted program peeking early only freezes the inputs sooner, it never
+  gets to choose its input after seeing an output.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError
+
+
+class IdealFunctionality:
+    """Interface: evaluate inputs {party: value} -> outputs {party: value}."""
+
+    name = "functionality"
+    n: int
+
+    def evaluate(self, inputs: Dict[int, Any], rng) -> Dict[int, Any]:
+        raise NotImplementedError
+
+
+class FSBFunctionality(IdealFunctionality):
+    """f_SB(x) = (x, ..., x): the simultaneous-broadcast functionality.
+
+    Missing or invalid inputs become the default 0, per the paper's
+    convention for corrupted parties that contribute nothing.
+    """
+
+    name = "fSB"
+
+    def __init__(self, n: int, default: int = 0):
+        self.n = n
+        self.default = default
+
+    def evaluate(self, inputs: Dict[int, Any], rng) -> Dict[int, Any]:
+        vector = tuple(
+            inputs[i] if inputs.get(i) is not None else self.default
+            for i in range(1, self.n + 1)
+        )
+        return {i: vector for i in range(1, self.n + 1)}
+
+
+class TrustedPartyMailbox:
+    """The per-execution state of the trusted party."""
+
+    def __init__(self, functionality: IdealFunctionality, rng: random.Random):
+        self._functionality = functionality
+        self._rng = rng
+        self._inputs: Dict[int, Any] = {}
+        self._outputs: Optional[Dict[int, Any]] = None
+
+    @property
+    def frozen(self) -> bool:
+        return self._outputs is not None
+
+    def submit(self, party: int, value: Any) -> None:
+        """Hand an input to the trusted party; ignored once frozen."""
+        if self._outputs is not None:
+            return
+        if party in self._inputs:
+            raise ProtocolError(f"party {party} submitted twice")
+        self._inputs[party] = value
+
+    def result(self, party: int) -> Any:
+        """Read a party's output, freezing the inputs on first access."""
+        if self._outputs is None:
+            self._outputs = self._functionality.evaluate(dict(self._inputs), self._rng)
+        return self._outputs.get(party)
+
+
+class TrustedPartyProtocol:
+    """Runnable protocol: one submit round, one result round.
+
+    The ``setup`` hook creates a fresh mailbox per execution and stores it
+    in the shared config — that object *is* the trusted party.  Honest
+    parties submit in round 1 and read their output in round 2.
+    """
+
+    rounds = 2
+
+    def __init__(self, functionality: IdealFunctionality):
+        self.functionality = functionality
+        self.n = functionality.n
+
+    def setup(self, rng):
+        return {
+            "mailbox": TrustedPartyMailbox(
+                self.functionality, random.Random(rng.getrandbits(64))
+            )
+        }
+
+    def program(self, ctx, value):
+        mailbox: TrustedPartyMailbox = ctx.config["mailbox"]
+        mailbox.submit(ctx.party_id, value)
+        yield []  # round 1: inputs are in.
+        return mailbox.result(ctx.party_id)

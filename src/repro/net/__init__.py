@@ -1,0 +1,32 @@
+"""Network simulation: partially synchronous rounds with a rushing adversary.
+
+See DESIGN.md §3 and the paper's Section 3.1.  The key entry point is
+:func:`repro.net.network.run_protocol`.
+"""
+
+from .adversary import Adversary, PassiveAdversary, ProgramAdversary
+from .message import BROADCAST, Draft, Inbox, Message, RoundRecord, broadcast, send
+from .network import run_protocol
+from .party import PartyContext, PartyState, make_party_rngs
+from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
+from .transcript import Execution
+
+__all__ = [
+    "Adversary",
+    "PassiveAdversary",
+    "ProgramAdversary",
+    "BROADCAST",
+    "Draft",
+    "Inbox",
+    "Message",
+    "RoundRecord",
+    "broadcast",
+    "send",
+    "run_protocol",
+    "PartyContext",
+    "PartyState",
+    "make_party_rngs",
+    "DEFAULT_MAX_ROUNDS",
+    "Scheduler",
+    "Execution",
+]

@@ -1,0 +1,54 @@
+"""High-level façade for running protocols on the simulated network."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence
+
+from .adversary import Adversary
+from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
+from .transcript import Execution
+
+
+def run_protocol(
+    protocol,
+    inputs: Sequence[Any],
+    adversary: Optional[Adversary] = None,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    session: str = "",
+) -> Execution:
+    """Run ``protocol`` once and return the full :class:`Execution`.
+
+    Args:
+        protocol: an object exposing ``n`` (party count), ``setup(rng)``
+            (returning the public config: CRS, PKI, parameters, ...) and
+            ``program(ctx, input)`` (the honest party program factory).
+            Every protocol in :mod:`repro.protocols` and
+            :mod:`repro.broadcast` satisfies this.
+        inputs: one input per party (corrupted parties' inputs are handed to
+            the adversary, mirroring the paper's model).
+        adversary: a :class:`repro.net.adversary.Adversary`; defaults to an
+            execution with no corruptions.
+        rng / seed: explicit randomness for reproducibility. ``seed`` is a
+            convenience for ``random.Random(seed)``.
+        max_rounds: abort guard.
+        session: session identifier mixed into signatures and proofs.
+    """
+    if rng is None:
+        rng = random.Random(seed if seed is not None else 0)
+    if adversary is None:
+        adversary = Adversary(corrupted=())
+    config = protocol.setup(rng)
+    scheduler = Scheduler(
+        n=protocol.n,
+        program_factory=protocol.program,
+        inputs=inputs,
+        adversary=adversary,
+        rng=rng,
+        config=config,
+        session=session or type(protocol).__name__,
+        max_rounds=max_rounds,
+    )
+    return scheduler.run()

@@ -1,0 +1,192 @@
+"""The synchronous round engine with rushing delivery.
+
+Round semantics (Section 3.1 of the paper):
+
+1. At the start of round r every honest party receives the messages sent
+   to it in round r-1 (by anyone) and produces its round-r messages.
+2. The adversary then sees all round-r honest traffic (it reads every
+   channel) and, *rushing*, receives instantly the round-r honest messages
+   addressed to corrupted parties — plus everything on the broadcast
+   channel — before choosing the corrupted parties' round-r messages.
+3. All round-r messages are buffered for delivery at round r+1.
+
+The run ends when every honest party's program has returned, or aborts
+with :class:`NetworkError` after ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..errors import NetworkError, ProtocolError
+from .adversary import Adversary
+from .message import Draft, Inbox, Message, RoundRecord
+from .party import PartyContext, PartyState
+from .transcript import Execution
+
+DEFAULT_MAX_ROUNDS = 10_000
+
+ProgramFactory = Callable[[PartyContext, Any], Any]
+
+
+class Scheduler:
+    """Drives one protocol execution to completion."""
+
+    def __init__(
+        self,
+        n: int,
+        program_factory: ProgramFactory,
+        inputs: Sequence[Any],
+        adversary: Adversary,
+        rng: random.Random,
+        config: Any = None,
+        session: str = "",
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ):
+        if len(inputs) != n:
+            raise ProtocolError(f"expected {n} inputs, got {len(inputs)}")
+        if len(adversary.corrupted) >= n and n > 0:
+            raise ProtocolError("at least one party must remain honest")
+        if not all(1 <= i <= n for i in adversary.corrupted):
+            raise ProtocolError(
+                f"corrupted set {set(adversary.corrupted)} out of range for n={n}"
+            )
+        self.n = n
+        self.inputs = tuple(inputs)
+        self.adversary = adversary
+        self.rng = rng
+        self.config = config
+        self.session = session
+        self.max_rounds = max_rounds
+        self._program_factory = program_factory
+
+        self.honest_ids = [i for i in range(1, n + 1) if i not in adversary.corrupted]
+        self._honest: Dict[int, PartyState] = {}
+        for i in self.honest_ids:
+            ctx = PartyContext(
+                party_id=i,
+                n=n,
+                rng=random.Random(rng.getrandbits(64)),
+                config=config,
+                session=session,
+            )
+            self._honest[i] = PartyState(
+                party_id=i, generator=program_factory(ctx, self.inputs[i - 1])
+            )
+
+        corrupted_inputs = {
+            i: self.inputs[i - 1] for i in adversary.corrupted
+        }
+        # Give PassiveAdversary-style adversaries the honest program.
+        installer = getattr(adversary, "set_program_factory", None)
+        if installer is not None:
+            installer(program_factory)
+        adversary.setup(
+            n=n,
+            config=config,
+            corrupted_inputs=corrupted_inputs,
+            rng=random.Random(rng.getrandbits(64)),
+            session=session,
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> Execution:
+        rounds: List[RoundRecord] = []
+        # Messages sent in the previous round, keyed by recipient.
+        pending: Dict[int, List[Message]] = {i: [] for i in range(1, self.n + 1)}
+        # Corrupted parties' inboxes accumulate lazily: adversary-to-adversary
+        # traffic from the previous round plus rushed honest traffic.
+        stale_for_corrupted: Dict[int, List[Message]] = {
+            i: [] for i in self.adversary.corrupted
+        }
+
+        round_number = 0
+        started = False
+        while True:
+            round_number += 1
+            if round_number > self.max_rounds:
+                raise NetworkError(
+                    f"protocol did not terminate within {self.max_rounds} rounds"
+                )
+
+            # 1. Honest parties speak.
+            honest_traffic: List[Message] = []
+            for i in self.honest_ids:
+                state = self._honest[i]
+                if state.finished:
+                    continue
+                if not started:
+                    drafts = state.start()
+                else:
+                    drafts = state.resume(Inbox(pending[i]))
+                honest_traffic.extend(draft.stamped(i) for draft in drafts)
+
+            # 2. Rushing: corrupted parties instantly receive this round's
+            #    honest traffic addressed to them (and honest broadcasts).
+            rushed: Dict[int, Inbox] = {}
+            for i in self.adversary.corrupted:
+                instant = [m for m in honest_traffic if m.addressed_to(i)]
+                rushed[i] = Inbox(stale_for_corrupted[i] + instant)
+
+            corrupted_outboxes = self.adversary.act(round_number, rushed)
+            corrupted_traffic: List[Message] = []
+            for i, drafts in corrupted_outboxes.items():
+                if i not in self.adversary.corrupted:
+                    raise ProtocolError(
+                        f"adversary produced messages for uncorrupted party {i}"
+                    )
+                for draft in drafts or []:
+                    if isinstance(draft, Message):
+                        # Allow adversaries to forge sender fields only among
+                        # corrupted identities (channels are authenticated).
+                        if draft.sender not in self.adversary.corrupted:
+                            raise ProtocolError(
+                                "adversary tried to forge an honest sender"
+                            )
+                        corrupted_traffic.append(draft)
+                    elif isinstance(draft, Draft):
+                        corrupted_traffic.append(draft.stamped(i))
+                    else:
+                        raise ProtocolError(
+                            f"adversary yielded {type(draft).__name__}"
+                        )
+
+            traffic = honest_traffic + corrupted_traffic
+            self.adversary.observe(round_number, traffic)
+            rounds.append(RoundRecord(round=round_number, messages=traffic))
+            started = True
+
+            # 3. Buffer everything for next-round delivery.
+            pending = {i: [] for i in range(1, self.n + 1)}
+            for message in traffic:
+                if message.is_broadcast:
+                    for i in range(1, self.n + 1):
+                        pending[i].append(message)
+                else:
+                    if not 1 <= message.recipient <= self.n:
+                        raise ProtocolError(
+                            f"message to unknown party {message.recipient}"
+                        )
+                    pending[message.recipient].append(message)
+            # Corrupted parties already saw this round's honest traffic; only
+            # corrupted-to-corrupted traffic still awaits them next round.
+            stale_for_corrupted = {
+                i: [m for m in corrupted_traffic if m.addressed_to(i)]
+                for i in self.adversary.corrupted
+            }
+
+            if all(state.finished for state in self._honest.values()):
+                break
+
+        outputs = {i: state.output for i, state in self._honest.items()}
+        return Execution(
+            n=self.n,
+            corrupted=frozenset(self.adversary.corrupted),
+            inputs=self.inputs,
+            outputs=outputs,
+            adversary_output=self.adversary.finish(),
+            rounds=rounds,
+            config=self.config,
+        )

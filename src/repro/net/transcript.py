@@ -1,0 +1,110 @@
+"""Execution transcripts and the Exec output vectors of Definition 4.1/4.2.
+
+An :class:`Execution` records everything about one protocol run: the full
+per-round traffic, each honest party's output, the adversary's output, and
+how many rounds were used.  The ``exec_vector`` property is the
+(n+1)-dimensional vector Exec^Π_A(k, z, x) from the paper: the adversary's
+output followed by the parties' outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..errors import ConsistencyError
+from .message import Message, RoundRecord
+
+
+@dataclass
+class Execution:
+    """The result of running a protocol once under a given adversary."""
+
+    n: int
+    corrupted: frozenset
+    inputs: Tuple[Any, ...]
+    outputs: Dict[int, Any]
+    adversary_output: Any
+    rounds: List[RoundRecord] = field(default_factory=list)
+    config: Any = None
+
+    @property
+    def honest(self) -> List[int]:
+        return [i for i in range(1, self.n + 1) if i not in self.corrupted]
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def communication_rounds(self) -> int:
+        """Rounds up to the last one carrying any message.
+
+        The scheduler always spends one trailing silent round observing that
+        every honest party has returned; this property is the natural
+        "round complexity" metric that excludes such padding.
+        """
+        last = 0
+        for record in self.rounds:
+            if record.messages:
+                last = record.round
+        return last
+
+    @property
+    def exec_vector(self) -> Tuple[Any, ...]:
+        """The (n+1)-vector (adversary output, party 1 output, ..., party n)."""
+        parties = tuple(self.outputs.get(i) for i in range(1, self.n + 1))
+        return (self.adversary_output,) + parties
+
+    def honest_output(self, party: int) -> Any:
+        if party in self.corrupted:
+            raise ConsistencyError(f"party {party} is corrupted; it has no honest output")
+        return self.outputs.get(party)
+
+    def messages_in_round(self, round_number: int) -> List[Message]:
+        for record in self.rounds:
+            if record.round == round_number:
+                return list(record.messages)
+        return []
+
+    def all_messages(self) -> List[Message]:
+        return [m for record in self.rounds for m in record.messages]
+
+    def broadcast_history(self) -> List[Tuple[int, int, Any]]:
+        """All broadcast-channel traffic as (round, sender, payload)."""
+        return [
+            (record.round, m.sender, m.payload)
+            for record in self.rounds
+            for m in record.messages
+            if m.is_broadcast
+        ]
+
+    # -- parallel-broadcast helpers (Definition 3.1) -------------------------------
+
+    def announced_vector(self, default: int = 0) -> Tuple[Any, ...]:
+        """The vector W "announced" by the parties (Definition 3.1).
+
+        Takes any honest party's output vector B_k and reads W_i = B_{k,i}.
+        By convention a missing or invalid entry becomes ``default`` (the
+        paper assigns the default value 0 to corrupted parties that
+        contribute no valid value).
+
+        Raises:
+            ConsistencyError: if honest parties disagree (consistency broken)
+                or no honest party produced an output vector.
+        """
+        vectors = []
+        for party in self.honest:
+            output = self.outputs.get(party)
+            if output is None:
+                continue
+            vectors.append(tuple(output))
+        if not vectors:
+            raise ConsistencyError("no honest party produced an output vector")
+        first = vectors[0]
+        for other in vectors[1:]:
+            if other != first:
+                raise ConsistencyError(
+                    f"honest parties disagree on announced vector: {first} vs {other}"
+                )
+        return tuple(default if entry is None else entry for entry in first)

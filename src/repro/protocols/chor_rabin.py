@@ -1,0 +1,201 @@
+"""Chor--Rabin-style simultaneous broadcast in Θ(log n) rounds [8].
+
+Shape of the protocol (matching the source of the log factor in [8] —
+sequential repetitions of a zero-knowledge proof of knowledge):
+
+1. **Commit** (1 round): every party broadcasts a Pedersen commitment to
+   the *tagged* message ``m_i = 2·i + x_i``.  The identity tag makes a
+   verbatim copied commitment useless: by binding it can only ever open
+   to the original owner's tag.
+2. **Prove knowledge** (3·⌈log₂ n⌉ rounds): ⌈log₂ n⌉ sequential
+   repetitions of the interactive one-bit-challenge Okamoto proof of
+   knowledge of the commitment opening, run pairwise over point-to-point
+   channels (prover → first message, verifier → challenge bit, prover →
+   response).  One-bit challenges keep each repetition zero-knowledge;
+   ⌈log₂ n⌉ repetitions push a cheater's escape probability to ≈1/n.
+   A party that cannot complete the proofs (e.g. one that mauled someone
+   else's commitment and so knows no opening) fails with every honest
+   verifier.
+3. **Complain** (1 round): parties broadcast who failed their proofs;
+   a party drawing more than t complaints is disqualified (honest provers
+   can draw at most the t corrupted parties' false complaints).
+4. **Reveal** (1 round): openings are broadcast; an announced value is the
+   de-tagged committed bit if the opening verifies, the tag matches the
+   sender, and the sender was not disqualified — otherwise the default 0.
+
+Requires t < n/2 (so honest complaints outnumber false ones).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Tuple
+
+from ..crypto.commitment import PedersenCommitment, PedersenParameters
+from ..crypto.group import SchnorrGroup
+from ..errors import InvalidParameterError
+from ..net.message import broadcast, send
+from .base import DEFAULT_BIT, ParallelBroadcastProtocol, coerce_bit
+
+
+def tag_message(party: int, bit: int) -> int:
+    """The identity-tagged committed message m = 2·party + bit."""
+    return 2 * party + bit
+
+
+def untag_message(message: int) -> Tuple[int, int]:
+    """Inverse of :func:`tag_message`: returns (party, bit)."""
+    return message // 2, message % 2
+
+
+class ChorRabinBroadcast(ParallelBroadcastProtocol):
+    """Commit / sequential-ZK-verify / reveal, in Θ(log n) rounds."""
+
+    name = "chor-rabin"
+
+    def __init__(self, n: int, t: int, security_bits: int = 24):
+        super().__init__(n=n, t=t, security_bits=security_bits)
+        if 2 * t >= n:
+            raise InvalidParameterError(
+                f"Chor-Rabin requires t < n/2 (got t={t}, n={n})"
+            )
+
+    @property
+    def repetitions(self) -> int:
+        return max(1, math.ceil(math.log2(self.n)))
+
+    def setup(self, rng):
+        group = SchnorrGroup.for_security(self.security_bits)
+        return {
+            "group": group,
+            "pedersen": PedersenParameters.generate(group, seed=b"chor-rabin"),
+        }
+
+    def program(self, ctx, value):
+        params: PedersenParameters = ctx.config["pedersen"]
+        scheme = PedersenCommitment(params)
+        group = params.group
+        me = ctx.party_id
+        q = group.q
+
+        # ---- round 1: broadcast tagged commitment -----------------------------------
+        my_message = tag_message(me, coerce_bit(value))
+        my_blinding = ctx.rng.randrange(q)
+        my_commitment = scheme.commit_with_randomness(my_message, my_blinding)
+        inbox = yield [broadcast(int(my_commitment), tag="cr:commit")]
+
+        commitments: Dict[int, Optional[object]] = {}
+        for sender, payload in inbox.payload_by_sender(tag="cr:commit").items():
+            try:
+                commitments[sender] = group.element(int(payload))
+            except Exception:
+                commitments[sender] = None
+
+        # ---- proof-of-knowledge repetitions ------------------------------------------
+        failed: Set[int] = {
+            j for j in ctx.others() if commitments.get(j) is None
+        }
+        for rep in range(self.repetitions):
+            a_tag = f"cr:pok:{rep}:a"
+            e_tag = f"cr:pok:{rep}:e"
+            z_tag = f"cr:pok:{rep}:z"
+
+            # Prover move: fresh (u, v) per verifier.
+            nonces = {}
+            drafts = []
+            for j in ctx.others():
+                u, v = ctx.rng.randrange(1, q), ctx.rng.randrange(1, q)
+                nonces[j] = (u, v)
+                first = (params.g ** u) * (params.h ** v)
+                drafts.append(send(j, int(first), tag=a_tag))
+            inbox = yield drafts
+
+            first_messages: Dict[int, Optional[object]] = {}
+            for j in ctx.others():
+                message = inbox.first_from(j, tag=a_tag)
+                if message is None:
+                    first_messages[j] = None
+                    continue
+                try:
+                    first_messages[j] = group.element(int(message.payload))
+                except Exception:
+                    first_messages[j] = None
+
+            # Verifier move: one challenge bit per prover.
+            challenges_out = {j: ctx.rng.randrange(2) for j in ctx.others()}
+            inbox = yield [
+                send(j, challenges_out[j], tag=e_tag) for j in ctx.others()
+            ]
+            drafts = []
+            for j in ctx.others():
+                message = inbox.first_from(j, tag=e_tag)
+                challenge = coerce_bit(message.payload) if message else 0
+                u, v = nonces[j]
+                z1 = (u + challenge * my_message) % q
+                z2 = (v + challenge * my_blinding) % q
+                drafts.append(send(j, (z1, z2), tag=z_tag))
+
+            # Response move + verification.
+            inbox = yield drafts
+            for j in ctx.others():
+                if j in failed:
+                    continue
+                first = first_messages.get(j)
+                response = inbox.first_from(j, tag=z_tag)
+                if first is None or response is None:
+                    failed.add(j)
+                    continue
+                try:
+                    z1, z2 = (int(z) % q for z in response.payload)
+                except (TypeError, ValueError):
+                    failed.add(j)
+                    continue
+                expected = first * (commitments[j] ** challenges_out[j])
+                if (params.g ** z1) * (params.h ** z2) != expected:
+                    failed.add(j)
+
+        # ---- complaint round -----------------------------------------------------------
+        inbox = yield [broadcast(tuple(sorted(failed)), tag="cr:complain")]
+        complaint_counts: Dict[int, int] = {j: 0 for j in range(1, self.n + 1)}
+        for sender, payload in inbox.payload_by_sender(tag="cr:complain").items():
+            try:
+                targets = {int(j) for j in payload}
+            except (TypeError, ValueError):
+                continue
+            for target in targets:
+                if target in complaint_counts and target != sender:
+                    complaint_counts[target] += 1
+        disqualified = {
+            j for j, count in complaint_counts.items() if count > self.t
+        }
+
+        # ---- reveal round ----------------------------------------------------------------
+        inbox = yield [
+            broadcast((my_message, my_blinding), tag="cr:reveal")
+        ]
+        # Own broadcasts are delivered to the sender too, so every party —
+        # including ourselves — is scored by the same public rule.
+        commitments[me] = my_commitment
+        announced = []
+        for j in range(1, self.n + 1):
+            commitment = commitments.get(j)
+            if commitment is None or j in disqualified:
+                announced.append(DEFAULT_BIT)
+                continue
+            message = inbox.first_from(j, tag="cr:reveal")
+            if message is None:
+                announced.append(DEFAULT_BIT)
+                continue
+            try:
+                revealed, blinding = message.payload
+                revealed, blinding = int(revealed), int(blinding)
+            except (TypeError, ValueError):
+                announced.append(DEFAULT_BIT)
+                continue
+            expected = scheme.commit_with_randomness(revealed, blinding)
+            owner, bit = untag_message(revealed)
+            if expected != commitment or owner != j:
+                announced.append(DEFAULT_BIT)
+                continue
+            announced.append(coerce_bit(bit))
+        return tuple(announced)

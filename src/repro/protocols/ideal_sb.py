@@ -1,0 +1,32 @@
+"""Ideal(f_SB): the trusted-party simultaneous broadcast of Definition 4.1.
+
+The reference point every real protocol is compared against: parties hand
+their bits to a trusted party which returns the full vector to everyone.
+Independence is perfect by construction — the adversary fixes corrupted
+inputs before seeing anything.
+"""
+
+from __future__ import annotations
+
+from ..mpc.ideal import FSBFunctionality, TrustedPartyProtocol
+from .base import DEFAULT_BIT, ParallelBroadcastProtocol, coerce_bit
+
+
+class IdealSimultaneousBroadcast(ParallelBroadcastProtocol):
+    """Runnable Ideal(f_SB); tolerates any t < n."""
+
+    name = "ideal-sb"
+
+    def __init__(self, n: int, t: int, security_bits: int = 24):
+        super().__init__(n=n, t=t, security_bits=security_bits)
+        self._inner = TrustedPartyProtocol(FSBFunctionality(n, default=DEFAULT_BIT))
+
+    def setup(self, rng):
+        return self._inner.setup(rng)
+
+    def program(self, ctx, value):
+        mailbox = ctx.config["mailbox"]
+        mailbox.submit(ctx.party_id, coerce_bit(value, default=None))
+        yield []
+        vector = mailbox.result(ctx.party_id)
+        return tuple(coerce_bit(w) for w in vector)

@@ -1,0 +1,81 @@
+"""Multi-bit values over single-bit simultaneous broadcast.
+
+The paper fixes broadcast messages to bits "for simplicity"; applications
+(bids, ballots, nonces) carry integers.  :class:`MultiBitBroadcast` lifts
+any single-bit parallel broadcast protocol to B-bit values by running B
+independent instances — one per bit position, most significant first —
+and reassembling the announced integers.
+
+Independence is inherited positionally: if each instance is simultaneous,
+no party can base any bit of its value on any bit of anybody else's.
+(The converse subtlety — *cross-position* adaptivity when instances run
+sequentially — is exactly the sealed-bid auction attack demonstrated in
+``examples/sealed_bid_auction.py``.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from ..net.adversary import Adversary
+
+
+class MultiBitBroadcast:
+    """Lift a bit-broadcast protocol factory to B-bit integer values.
+
+    Args:
+        protocol_factory: zero-argument callable returning a fresh
+            single-bit :class:`ParallelBroadcastProtocol` per instance.
+        bits: value width B; announced values lie in [0, 2^B).
+    """
+
+    def __init__(self, protocol_factory, bits: int):
+        if bits < 1:
+            raise InvalidParameterError("bits must be positive")
+        self.protocol_factory = protocol_factory
+        self.bits = bits
+        probe = protocol_factory()
+        self.n = probe.n
+        self.t = probe.t
+
+    def announced(
+        self,
+        values: Sequence[int],
+        adversary_factory=None,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+    ) -> Tuple[int, ...]:
+        """Announce each party's B-bit value; returns the announced integers.
+
+        ``adversary_factory`` receives the bit position (B-1 .. 0) and
+        returns a fresh adversary for that instance (or None).
+        """
+        if len(values) != self.n:
+            raise InvalidParameterError(f"expected {self.n} values, got {len(values)}")
+        limit = 1 << self.bits
+        for value in values:
+            if isinstance(value, int) and not 0 <= value < limit:
+                raise InvalidParameterError(
+                    f"value {value} out of range for {self.bits}-bit broadcast"
+                )
+        if rng is None:
+            rng = random.Random(seed if seed is not None else 0)
+
+        totals: List[int] = [0] * self.n
+        for position in reversed(range(self.bits)):
+            protocol = self.protocol_factory()
+            inputs = [
+                ((value >> position) & 1) if isinstance(value, int) else value
+                for value in values
+            ]
+            adversary: Optional[Adversary] = (
+                adversary_factory(position) if adversary_factory else None
+            )
+            announced = protocol.announced(
+                inputs, adversary=adversary, rng=random.Random(rng.getrandbits(64))
+            )
+            for party in range(self.n):
+                totals[party] = (totals[party] << 1) | announced[party]
+        return tuple(totals)

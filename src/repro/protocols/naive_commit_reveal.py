@@ -1,0 +1,62 @@
+"""Ablation: naive commit-then-reveal *without* proofs or identity tags.
+
+This is what the Gennaro-style protocol degenerates to if you strip the
+proof of knowledge and the identity tag from the commitments: broadcast a
+plain hash commitment, then broadcast the opening.  It looks simultaneous
+but is not — a rushing adversary copies an honest commitment verbatim in
+round 1 and echoes the honest opening in round 2, announcing a perfect
+copy of the victim's bit.
+
+The ablation experiment (see ``benchmarks``) shows this protocol failing
+every independence definition under the copy adversary, while the real
+:class:`repro.protocols.gennaro.GennaroBroadcast` resists it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..crypto.prg import random_oracle
+from ..net.message import broadcast
+from .base import DEFAULT_BIT, ParallelBroadcastProtocol, coerce_bit
+
+NONCE_BYTES = 16
+
+
+def commitment_digest(bit: int, nonce: bytes) -> bytes:
+    """The (untagged!) commitment C = H(bit, nonce)."""
+    return random_oracle("naive-commit", bit, nonce)
+
+
+class NaiveCommitReveal(ParallelBroadcastProtocol):
+    """Two rounds: broadcast H(x, nonce), then broadcast (x, nonce)."""
+
+    name = "naive-commit-reveal"
+
+    def program(self, ctx, value):
+        bit = coerce_bit(value)
+        nonce = bytes(ctx.rng.getrandbits(8) for _ in range(NONCE_BYTES))
+        inbox = yield [broadcast(commitment_digest(bit, nonce), tag="naive:commit")]
+
+        commitments: Dict[int, Optional[bytes]] = {}
+        for sender, payload in inbox.payload_by_sender(tag="naive:commit").items():
+            commitments[sender] = payload if isinstance(payload, bytes) else None
+
+        inbox = yield [broadcast((bit, nonce), tag="naive:reveal")]
+        announced = []
+        for j in range(1, self.n + 1):
+            commitment = commitments.get(j)
+            message = inbox.first_from(j, tag="naive:reveal")
+            if commitment is None or message is None:
+                announced.append(DEFAULT_BIT)
+                continue
+            try:
+                revealed, revealed_nonce = message.payload
+            except (TypeError, ValueError):
+                announced.append(DEFAULT_BIT)
+                continue
+            if commitment_digest(coerce_bit(revealed), revealed_nonce) != commitment:
+                announced.append(DEFAULT_BIT)
+                continue
+            announced.append(coerce_bit(revealed))
+        return tuple(announced)

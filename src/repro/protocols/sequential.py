@@ -1,0 +1,39 @@
+"""The "simplest instantiation": n sequential single-sender broadcasts.
+
+Section 3.2 of the paper uses this protocol as the canonical example of a
+*parallel* broadcast that is **not** simultaneous: party i broadcasts its
+bit in round i, so a corrupted later sender can discard its own input and
+echo an earlier honest value — breaking every independence notion while
+preserving consistency and correctness.
+
+:class:`SequentialBroadcast` runs over the model's broadcast channel.  The
+companion adversary that performs the echo attack lives in
+:mod:`repro.adversaries.copier`.
+"""
+
+from __future__ import annotations
+
+from ..net.message import broadcast
+from .base import DEFAULT_BIT, ParallelBroadcastProtocol, coerce_bit
+
+
+class SequentialBroadcast(ParallelBroadcastProtocol):
+    """Round i: party i broadcasts.  Output: the vector of heard bits."""
+
+    name = "sequential"
+
+    def program(self, ctx, value):
+        heard = {}
+        for round_index in range(1, self.n + 1):
+            if ctx.party_id == round_index:
+                inbox = yield [broadcast(coerce_bit(value), tag="seq")]
+                heard[ctx.party_id] = coerce_bit(value)
+            else:
+                inbox = yield []
+            # The generator is resumed with round-r traffic, so the scheduled
+            # sender's broadcast is read here; off-schedule broadcasts from
+            # other rounds are ignored (announced as the default).
+            for message in inbox.broadcasts(tag="seq"):
+                if message.sender == round_index:
+                    heard.setdefault(message.sender, coerce_bit(message.payload))
+        return tuple(heard.get(i, DEFAULT_BIT) for i in range(1, self.n + 1))

@@ -1,0 +1,333 @@
+"""Tests for the broadcast substrate: validity, agreement, fault tolerance."""
+
+import random
+
+import pytest
+
+from repro.broadcast.dolev_strong import DolevStrongBroadcast
+from repro.broadcast.eig import EIGBroadcast
+from repro.broadcast.ideal import IdealBroadcast
+from repro.broadcast.interactive_consistency import InteractiveConsistency
+from repro.broadcast.phase_king import PhaseKingBroadcast, PhaseKingConsensus
+from repro.errors import InvalidParameterError
+from repro.net.adversary import Adversary, ProgramAdversary
+from repro.net.message import send
+from repro.net.network import run_protocol
+
+
+def outputs_agree(execution):
+    values = [execution.outputs[i] for i in execution.honest]
+    return all(v == values[0] for v in values)
+
+
+class TestIdealBroadcast:
+    def test_honest_delivery(self):
+        protocol = IdealBroadcast(n=4, sender=2)
+        execution = run_protocol(protocol, [None, "v", None, None], seed=1)
+        assert all(execution.outputs[i] == "v" for i in range(1, 5))
+        assert execution.round_count <= 2
+
+    def test_silent_sender_defaults(self):
+        protocol = IdealBroadcast(n=3, sender=2)
+        execution = run_protocol(
+            protocol, [None, "v", None], adversary=Adversary(corrupted=[2]), seed=1
+        )
+        assert execution.outputs[1] == 0
+        assert execution.outputs[3] == 0
+
+    def test_sender_out_of_range(self):
+        with pytest.raises(ValueError):
+            IdealBroadcast(n=3, sender=4)
+
+
+class TestDolevStrong:
+    def test_honest_sender_validity(self):
+        protocol = DolevStrongBroadcast(n=4, t=1, sender=1)
+        execution = run_protocol(protocol, ["m", None, None, None], seed=2)
+        assert all(execution.outputs[i] == "m" for i in range(1, 5))
+
+    def test_runs_t_plus_one_rounds(self):
+        for t in (1, 2):
+            protocol = DolevStrongBroadcast(n=4, t=t, sender=1)
+            execution = run_protocol(protocol, ["m", None, None, None], seed=2)
+            # Parties decide only after round t+1 (plus the scheduler's one
+            # trailing silent round); honest traffic may stop earlier.
+            assert execution.round_count == t + 2
+            assert execution.communication_rounds <= t + 1
+
+    def test_silent_sender_decides_default(self):
+        protocol = DolevStrongBroadcast(n=4, t=1, sender=2)
+        execution = run_protocol(
+            protocol,
+            [None, "m", None, None],
+            adversary=Adversary(corrupted=[2]),
+            seed=3,
+        )
+        assert all(execution.outputs[i] == 0 for i in (1, 3, 4))
+
+    def test_equivocating_sender_agreement(self):
+        """A corrupted sender sends different signed values to different parties;
+        honest parties still agree (on the default, having seen two values)."""
+
+        def equivocator(ctx, value):
+            directory = ctx.config["directory"]
+            drafts = []
+            for j in ctx.others():
+                faked = f"v{j}"
+                signature = directory.sign(ctx.party_id, ("bc", faked), ctx.rng)
+                chain = ((ctx.party_id, signature),)
+                drafts.append(send(j, (faked, chain), tag="ds:bc"))
+            yield drafts
+            yield []
+            return None
+
+        protocol = DolevStrongBroadcast(n=4, t=1, sender=1)
+        execution = run_protocol(
+            protocol,
+            [None, None, None, None],
+            adversary=ProgramAdversary({1: equivocator}),
+            seed=4,
+        )
+        assert outputs_agree(execution)
+        assert execution.outputs[2] == 0
+
+    def test_forged_chain_rejected(self):
+        """A corrupted relay cannot inject a value the sender never signed."""
+
+        def injector(ctx, value):
+            directory = ctx.config["directory"]
+            # Sign a bogus value with its own key only (no sender signature).
+            signature = directory.sign(ctx.party_id, ("bc", "bogus"), ctx.rng)
+            chain = ((ctx.party_id, signature),)
+            yield [send(j, ("bogus", chain), tag="ds:bc") for j in ctx.others()]
+            yield []
+            return None
+
+        protocol = DolevStrongBroadcast(n=4, t=1, sender=1)
+        execution = run_protocol(
+            protocol,
+            ["good", None, None, None],
+            adversary=ProgramAdversary({3: injector}),
+            seed=5,
+        )
+        # Party 1 (sender, honest) and the other honest parties agree on "good".
+        assert execution.outputs[2] == "good"
+        assert execution.outputs[4] == "good"
+
+    def test_duplicate_signer_chain_rejected(self):
+        from repro.broadcast.dolev_strong import _chain_valid
+        from repro.crypto.group import SchnorrGroup
+        from repro.crypto.signatures import KeyDirectory
+
+        group = SchnorrGroup.for_security(24)
+        rng = random.Random(0)
+        directory = KeyDirectory.generate(group, 3, rng)
+        sig1 = directory.sign(1, ("bc", "v"), rng)
+        chain = ((1, sig1), (1, sig1))
+        assert not _chain_valid(directory, "bc", 1, "v", chain, minimum=2)
+
+    def test_chain_must_start_with_sender(self):
+        from repro.broadcast.dolev_strong import _chain_valid
+        from repro.crypto.group import SchnorrGroup
+        from repro.crypto.signatures import KeyDirectory
+
+        group = SchnorrGroup.for_security(24)
+        rng = random.Random(0)
+        directory = KeyDirectory.generate(group, 3, rng)
+        sig2 = directory.sign(2, ("bc", "v"), rng)
+        assert not _chain_valid(directory, "bc", 1, "v", ((2, sig2),), minimum=1)
+
+
+class TestEIG:
+    def test_honest_sender_validity(self):
+        protocol = EIGBroadcast(n=4, t=1, sender=3)
+        execution = run_protocol(protocol, [None, None, 1, None], seed=6)
+        assert all(execution.outputs[i] == 1 for i in range(1, 5))
+
+    def test_requires_n_over_3(self):
+        with pytest.raises(ValueError):
+            EIGBroadcast(n=3, t=1, sender=1)
+
+    def test_silent_sender_defaults(self):
+        protocol = EIGBroadcast(n=4, t=1, sender=2)
+        execution = run_protocol(
+            protocol,
+            [None, 1, None, None],
+            adversary=Adversary(corrupted=[2]),
+            seed=7,
+        )
+        assert all(execution.outputs[i] == 0 for i in (1, 3, 4))
+
+    def test_equivocating_sender_agreement(self):
+        """Sender says 1 to some parties, 0 to others; honest parties agree."""
+
+        def equivocator(ctx, value):
+            drafts = []
+            for j in range(1, 5):
+                bit = 1 if j <= 2 else 0
+                drafts.append(send(j, ((ctx.party_id,), bit), tag="eig:bc"))
+            yield drafts
+            yield []
+            return None
+
+        protocol = EIGBroadcast(n=4, t=1, sender=1)
+        execution = run_protocol(
+            protocol,
+            [None, None, None, None],
+            adversary=ProgramAdversary({1: equivocator}),
+            seed=8,
+        )
+        assert outputs_agree(execution)
+
+    def test_lying_relay_does_not_break_agreement(self):
+        def liar_relay(ctx, value):
+            inbox = yield []
+            # Learn the sender's value, then relay the flipped bit.
+            message = inbox.first_from(1, tag="eig:bc")
+            heard = message.payload[1] if message else 0
+            flipped = 1 - heard
+            yield [
+                send(j, ((1, ctx.party_id), flipped), tag="eig:bc")
+                for j in range(1, 5)
+            ]
+            return None
+
+        protocol = EIGBroadcast(n=4, t=1, sender=1)
+        execution = run_protocol(
+            protocol,
+            [1, None, None, None],
+            adversary=ProgramAdversary({3: liar_relay}),
+            seed=9,
+        )
+        assert outputs_agree(execution)
+        # With an honest sender and t=1 < n/3, validity must hold.
+        assert execution.outputs[2] == 1
+
+
+class TestPhaseKing:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            PhaseKingBroadcast(n=4, t=1, sender=1)
+        with pytest.raises(ValueError):
+            PhaseKingConsensus(n=4, t=1)
+
+    def test_consensus_all_same_input(self):
+        protocol = PhaseKingConsensus(n=5, t=1)
+        execution = run_protocol(protocol, [1, 1, 1, 1, 1], seed=10)
+        assert all(execution.outputs[i] == 1 for i in range(1, 6))
+
+    def test_consensus_agreement_mixed_inputs(self):
+        protocol = PhaseKingConsensus(n=5, t=1)
+        execution = run_protocol(protocol, [1, 0, 1, 0, 1], seed=11)
+        assert outputs_agree(execution)
+
+    def test_consensus_with_byzantine_party(self):
+        def chaotic(ctx, value):
+            for phase in (1, 2):
+                # Send conflicting exchange values to different parties.
+                inbox = yield [
+                    send(j, j % 2, tag=f"pk:pk:x{phase}") for j in range(1, 6)
+                ]
+                inbox = yield []
+            return None
+
+        protocol = PhaseKingConsensus(n=5, t=1)
+        execution = run_protocol(
+            protocol,
+            [1, 1, 1, 1, 0],
+            adversary=ProgramAdversary({5: chaotic}),
+            seed=12,
+        )
+        assert outputs_agree(execution)
+        # Validity: all honest parties started with 1.
+        assert execution.outputs[1] == 1
+
+    def test_broadcast_validity(self):
+        protocol = PhaseKingBroadcast(n=5, t=1, sender=2)
+        execution = run_protocol(protocol, [None, 1, None, None, None], seed=13)
+        assert all(execution.outputs[i] == 1 for i in range(1, 6))
+
+    def test_broadcast_equivocating_sender(self):
+        def equivocator(ctx, value):
+            yield [send(j, j % 2, tag="pk:bc:send") for j in range(1, 6)]
+            # Behave silently afterwards.
+            for _ in range(4):
+                yield []
+            return None
+
+        protocol = PhaseKingBroadcast(n=5, t=1, sender=1)
+        execution = run_protocol(
+            protocol,
+            [None] * 5,
+            adversary=ProgramAdversary({1: equivocator}),
+            seed=14,
+        )
+        assert outputs_agree(execution)
+
+
+class TestInteractiveConsistency:
+    def test_ideal_primitive_roundtrip(self):
+        protocol = InteractiveConsistency(n=4, t=1, primitive="ideal")
+        execution = run_protocol(protocol, [1, 0, 1, 0], seed=15)
+        for i in range(1, 5):
+            assert execution.outputs[i] == (1, 0, 1, 0)
+
+    def test_dolev_strong_primitive(self):
+        protocol = InteractiveConsistency(n=4, t=1, primitive="dolev-strong")
+        execution = run_protocol(protocol, [1, 0, 0, 1], seed=16)
+        for i in range(1, 5):
+            assert execution.outputs[i] == (1, 0, 0, 1)
+
+    def test_eig_primitive_with_corruption(self):
+        protocol = InteractiveConsistency(n=4, t=1, primitive="eig")
+        execution = run_protocol(
+            protocol, [1, 0, 1, 1], adversary=Adversary(corrupted=[2]), seed=17
+        )
+        assert outputs_agree(execution)
+        vector = execution.outputs[1]
+        assert vector[0] == 1 and vector[2] == 1 and vector[3] == 1
+        assert vector[1] == 0  # silent corrupted sender -> default
+
+    def test_phase_king_primitive(self):
+        protocol = InteractiveConsistency(n=5, t=1, primitive="phase-king")
+        execution = run_protocol(protocol, [1, 1, 0, 0, 1], seed=18)
+        assert outputs_agree(execution)
+        assert execution.outputs[1] == (1, 1, 0, 0, 1)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            InteractiveConsistency(n=4, t=1, primitive="carrier-pigeon")
+
+    def test_bound_validation(self):
+        with pytest.raises(InvalidParameterError):
+            InteractiveConsistency(n=3, t=1, primitive="eig")
+        with pytest.raises(InvalidParameterError):
+            InteractiveConsistency(n=4, t=1, primitive="phase-king")
+
+    def test_no_independence_copy_attack(self):
+        """Section 3.2: parallel broadcast alone does not give independence.
+
+        A rushing adversary corrupting party 4 reads party 1's round-1
+        broadcast and echoes it as its own input in the same round.
+        """
+        from repro.net.adversary import Adversary
+        from repro.net.message import broadcast as bc_draft
+
+        class Copier(Adversary):
+            def act(self, round_number, rushed):
+                if round_number != 1:
+                    return {4: []}
+                seen = rushed[4].broadcasts(tag="ideal:ic1")
+                copied = seen[0].payload if seen else 0
+                return {4: [bc_draft(copied, tag="ideal:ic4")]}
+
+        for x1 in (0, 1):
+            protocol = InteractiveConsistency(n=4, t=1, primitive="ideal")
+            execution = run_protocol(
+                protocol,
+                [x1, 1, 0, None],
+                adversary=Copier(corrupted=[4]),
+                seed=19,
+            )
+            vector = execution.outputs[1]
+            assert vector[3] == x1  # perfectly correlated with party 1

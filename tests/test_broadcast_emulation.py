@@ -1,0 +1,111 @@
+"""Tests for running broadcast-channel protocols over point-to-point links."""
+
+import pytest
+
+from repro.broadcast.emulation import OverPointToPoint
+from repro.net.adversary import Adversary, PassiveAdversary
+from repro.protocols import (
+    CGMABroadcast,
+    GennaroBroadcast,
+    NaiveCommitReveal,
+    SequentialBroadcast,
+)
+
+N, T = 4, 1
+
+
+class TestHonestEmulation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(lambda: SequentialBroadcast(N, T), id="sequential"),
+            pytest.param(lambda: GennaroBroadcast(N, T, security_bits=16), id="gennaro"),
+            pytest.param(lambda: NaiveCommitReveal(N, T), id="naive"),
+            pytest.param(lambda: CGMABroadcast(N, T, security_bits=16), id="cgma"),
+        ],
+    )
+    def test_announced_matches_channel_version(self, factory):
+        inner = factory()
+        wrapped = OverPointToPoint(inner, security_bits=16)
+        for inputs in [(1, 0, 1, 0), (0, 0, 0, 0), (1, 1, 1, 1)]:
+            assert wrapped.announced(inputs, seed=5) == inputs
+
+    def test_name_and_parameters_propagate(self):
+        wrapped = OverPointToPoint(GennaroBroadcast(N, T, security_bits=16))
+        assert wrapped.n == N and wrapped.t == T
+        assert wrapped.name == "gennaro/p2p"
+
+    def test_round_inflation_factor(self):
+        """Each broadcast-channel round costs a (t+1)-round window."""
+        inner = GennaroBroadcast(N, T, security_bits=16)
+        channel = inner.run((1, 0, 1, 0), seed=6)
+        wrapped = OverPointToPoint(inner, security_bits=16)
+        emulated = wrapped.run((1, 0, 1, 0), seed=6)
+        assert channel.communication_rounds == 2
+        assert emulated.communication_rounds == 2 * (T + 1)
+
+    def test_no_broadcast_channel_traffic(self):
+        """The emulated execution uses point-to-point messages only."""
+        wrapped = OverPointToPoint(GennaroBroadcast(N, T, security_bits=16))
+        execution = wrapped.run((1, 0, 1, 0), seed=7)
+        assert all(not m.is_broadcast for m in execution.all_messages())
+
+    def test_message_blowup_is_quadratic(self):
+        wrapped = OverPointToPoint(SequentialBroadcast(N, T), security_bits=16)
+        execution = wrapped.run((1, 0, 1, 0), seed=8)
+        channel = SequentialBroadcast(N, T).run((1, 0, 1, 0), seed=8)
+        assert len(execution.all_messages()) > len(channel.all_messages()) * (N - 1)
+
+
+class TestEmulationUnderFaults:
+    def test_silent_party_announced_default(self):
+        wrapped = OverPointToPoint(GennaroBroadcast(N, T, security_bits=16))
+        execution = wrapped.run(
+            (1, 1, 1, 1), adversary=Adversary(corrupted=[3]), seed=9
+        )
+        announced = execution.announced_vector()
+        assert announced == (1, 1, 0, 1)
+        vectors = {tuple(execution.outputs[i]) for i in execution.honest}
+        assert len(vectors) == 1
+
+    def test_passive_corruption_transparent(self):
+        wrapped = OverPointToPoint(GennaroBroadcast(N, T, security_bits=16))
+        announced = wrapped.announced(
+            (1, 0, 1, 1), adversary=PassiveAdversary(corrupted=[2]), seed=10
+        )
+        assert announced == (1, 0, 1, 1)
+
+    def test_equivocating_ds_sender_delivers_nothing(self):
+        """A corrupted party equivocating inside the emulation window is
+        resolved by Dolev-Strong to the default: honest parties agree it
+        announced nothing."""
+        from repro.net.message import send as p2p_send
+
+        class WindowEquivocator(Adversary):
+            """Sends two different signed bundles to different parties in
+            window 1 (the Gennaro commit round)."""
+
+            def act(self, round_number, rushed):
+                if round_number != 1:
+                    return {3: []}
+                directory = self.config["directory"]
+                drafts = []
+                for j, fake in ((1, "foo"), (2, "bar"), (4, "foo")):
+                    bundle = ((f"gen:commit", fake),)
+                    signature = directory.sign(
+                        3, ("em1:3", bundle), self.rng
+                    )
+                    drafts.append(
+                        p2p_send(j, (bundle, ((3, signature),)), tag="ds:em1:3")
+                    )
+                return {3: drafts}
+
+        wrapped = OverPointToPoint(GennaroBroadcast(N, T, security_bits=16))
+        execution = wrapped.run(
+            (1, 1, 1, 1), adversary=WindowEquivocator(corrupted=[3]), seed=11
+        )
+        announced = execution.announced_vector()
+        assert announced[2] == 0  # equivocation resolved to default
+        assert announced[0] == announced[1] == announced[3] == 1
+        vectors = {tuple(execution.outputs[i]) for i in execution.honest}
+        assert len(vectors) == 1

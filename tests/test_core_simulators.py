@@ -1,0 +1,160 @@
+"""Tests for the transcript-level Sb machinery (simulators, distinguishers)."""
+
+import random
+
+import pytest
+
+from repro.adversaries import InputSubstitution, PassiveAdversary, SequentialCopier
+from repro.analysis import Decision
+from repro.core import HONEST
+from repro.core.simulators import (
+    HonestInputSimulator,
+    ReplaySimulator,
+    default_distinguishers,
+    ideal_exec_vector,
+    sb_advantage,
+)
+from repro.errors import ExperimentError
+from repro.protocols import (
+    GennaroBroadcast,
+    IdealSimultaneousBroadcast,
+    SequentialBroadcast,
+)
+
+N, T = 4, 1
+
+
+def rng():
+    return random.Random(777)
+
+
+class TestIdealProcess:
+    def test_honest_simulator_forwards_inputs(self):
+        simulator = HonestInputSimulator()
+        vector = ideal_exec_vector(
+            N, (1, 0, 1, 0), corrupted=[2], simulator=simulator, rng=rng()
+        )
+        assert vector[0] is None  # simulated adversary output
+        assert vector[1] == (1, 0, 1, 0)
+        # Every party holds the same announced vector in the ideal process.
+        assert len(set(vector[1:])) == 1
+
+    def test_simulator_cannot_see_honest_inputs(self):
+        """The substituted value depends only on x_B: flipping an honest
+        input never changes the corrupted coordinates."""
+
+        class Recording(HonestInputSimulator):
+            seen = []
+
+            def simulate(self, corrupted_inputs, rng_):
+                Recording.seen.append(dict(corrupted_inputs))
+                return super().simulate(corrupted_inputs, rng_)
+
+        simulator = Recording()
+        ideal_exec_vector(N, (0, 1, 0, 0), corrupted=[2], simulator=simulator, rng=rng())
+        ideal_exec_vector(N, (1, 1, 1, 1), corrupted=[2], simulator=simulator, rng=rng())
+        assert Recording.seen == [{2: 1}, {2: 1}]
+
+    def test_invalid_honest_inputs_become_default(self):
+        vector = ideal_exec_vector(
+            N, (1, "junk", 0, 1), corrupted=[], simulator=HonestInputSimulator(), rng=rng()
+        )
+        assert vector[1] == (1, 0, 0, 1)
+
+
+class TestDistinguisherFamily:
+    def test_family_contains_paper_witnesses(self):
+        names = {name for name, _ in default_distinguishers(N)}
+        assert "parity(W)==0" in names
+        assert "W[4]==x[1]" in names  # the copy detector
+        assert "W[1]==W[2]" in names  # Lemma 6.4's comparator Q
+
+    def test_distinguishers_handle_missing_outputs(self):
+        for name, fn in default_distinguishers(N):
+            assert fn((0,) * N, (None, None, None, None, None)) is False
+
+
+class TestSbAdvantage:
+    def test_ideal_protocol_zero_advantage(self):
+        protocol = IdealSimultaneousBroadcast(N, T)
+        report = sb_advantage(
+            protocol,
+            HONEST,
+            HonestInputSimulator(),
+            samples_per_point=20,
+            rng=rng(),
+            input_vectors=[(0, 0, 0, 0), (1, 0, 1, 0), (1, 1, 1, 1)],
+        )
+        assert report.gap == 0.0
+        assert report.decision == Decision.CONSISTENT
+
+    def test_copier_defeats_honest_input_simulator(self):
+        protocol = SequentialBroadcast(N, T)
+        copier = lambda: SequentialCopier(copier=4, target=1)
+        report = sb_advantage(
+            protocol,
+            copier,
+            HonestInputSimulator(),
+            samples_per_point=20,
+            rng=rng(),
+            input_vectors=[(1, 0, 0, 0)],
+        )
+        assert report.violated
+        assert report.gap == 1.0
+        # Several distinguishers expose the copier (parity, tracking,
+        # comparator); any of them may be the recorded arg-max.
+        assert "distinguisher" in report.witness
+
+    def test_copier_defeats_replay_simulator_too(self):
+        """No simulator can help: the replay simulator runs the copier on
+        dummy honest inputs, so its substituted value misses the real x_1."""
+        protocol = SequentialBroadcast(N, T)
+        copier = lambda: SequentialCopier(copier=4, target=1)
+        report = sb_advantage(
+            protocol,
+            copier,
+            ReplaySimulator(protocol, copier),
+            samples_per_point=20,
+            rng=rng(),
+            input_vectors=[(1, 0, 0, 0)],
+        )
+        assert report.violated
+
+    def test_replay_simulator_handles_input_substitution(self):
+        """Input substitution is ideal-model legal: the replay simulator
+        reproduces the substituted value exactly and the advantage vanishes."""
+        protocol = GennaroBroadcast(N, T, security_bits=16)
+        factory = lambda: InputSubstitution(protocol, corrupted=[2], substitution=1)
+        report = sb_advantage(
+            protocol,
+            factory,
+            ReplaySimulator(protocol, factory),
+            samples_per_point=15,
+            rng=rng(),
+            input_vectors=[(0, 0, 0, 0), (1, 0, 1, 1)],
+        )
+        assert not report.violated
+        assert report.details["simulator"] == "ReplaySimulator"
+
+    def test_passive_adversary_simulated_by_replay(self):
+        protocol = GennaroBroadcast(N, T, security_bits=16)
+        factory = lambda: PassiveAdversary(corrupted=[3])
+        report = sb_advantage(
+            protocol,
+            factory,
+            ReplaySimulator(protocol, factory),
+            samples_per_point=15,
+            rng=rng(),
+            input_vectors=[(1, 1, 0, 0), (0, 0, 1, 1)],
+        )
+        assert not report.violated
+
+    def test_sample_floor(self):
+        with pytest.raises(ExperimentError):
+            sb_advantage(
+                IdealSimultaneousBroadcast(N, T),
+                HONEST,
+                HonestInputSimulator(),
+                samples_per_point=1,
+                rng=rng(),
+            )

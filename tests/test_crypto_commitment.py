@@ -1,0 +1,132 @@
+"""Tests for hash, Pedersen and trapdoor commitments."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commitment import (
+    HashCommitment,
+    Opening,
+    PedersenCommitment,
+    PedersenParameters,
+    TrapdoorCommitment,
+)
+from repro.crypto.group import SchnorrGroup
+from repro.errors import CommitmentError, InvalidParameterError
+
+GROUP = SchnorrGroup.for_security(24)
+PARAMS = PedersenParameters.generate(GROUP)
+
+
+class TestHashCommitment:
+    def test_roundtrip(self):
+        scheme = HashCommitment()
+        commitment, opening = scheme.commit(("vote", 1), random.Random(0))
+        assert scheme.verify(commitment, opening)
+        assert scheme.check(commitment, opening) == ("vote", 1)
+
+    def test_wrong_value_rejected(self):
+        scheme = HashCommitment()
+        commitment, opening = scheme.commit(5, random.Random(0))
+        forged = Opening(6, opening.randomness)
+        assert not scheme.verify(commitment, forged)
+        with pytest.raises(CommitmentError):
+            scheme.check(commitment, forged)
+
+    def test_wrong_nonce_rejected(self):
+        scheme = HashCommitment()
+        commitment, opening = scheme.commit(5, random.Random(0))
+        assert not scheme.verify(commitment, Opening(5, b"\x00" * 32))
+
+    def test_hiding_commitments_differ_across_randomness(self):
+        scheme = HashCommitment()
+        c1, _ = scheme.commit(5, random.Random(1))
+        c2, _ = scheme.commit(5, random.Random(2))
+        assert c1 != c2
+
+    def test_tag_separates_domains(self):
+        rng = random.Random(0)
+        c1, opening = HashCommitment("a").commit(5, rng)
+        assert not HashCommitment("b").verify(c1, opening)
+
+
+class TestPedersenCommitment:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, value, seed):
+        scheme = PedersenCommitment(PARAMS)
+        commitment, opening = scheme.commit(value, random.Random(seed))
+        assert scheme.verify(commitment, opening)
+        assert scheme.check(commitment, opening) == value % GROUP.q
+
+    def test_binding_to_value(self):
+        scheme = PedersenCommitment(PARAMS)
+        commitment, opening = scheme.commit(7, random.Random(0))
+        assert not scheme.verify(commitment, Opening(8, opening.randomness))
+
+    def test_binding_to_randomness(self):
+        scheme = PedersenCommitment(PARAMS)
+        commitment, opening = scheme.commit(7, random.Random(0))
+        assert not scheme.verify(
+            commitment, Opening(7, (opening.randomness + 1) % GROUP.q)
+        )
+
+    def test_homomorphism(self):
+        scheme = PedersenCommitment(PARAMS)
+        rng = random.Random(3)
+        c1, o1 = scheme.commit(4, rng)
+        c2, o2 = scheme.commit(9, rng)
+        combined = scheme.combine(c1, c2)
+        joint_opening = Opening(
+            (o1.value + o2.value) % GROUP.q,
+            (o1.randomness + o2.randomness) % GROUP.q,
+        )
+        assert scheme.verify(combined, joint_opening)
+
+    def test_value_reduced_mod_q(self):
+        scheme = PedersenCommitment(PARAMS)
+        assert scheme.commit_with_randomness(GROUP.q + 3, 5) == scheme.commit_with_randomness(3, 5)
+
+    def test_malformed_opening_returns_false(self):
+        scheme = PedersenCommitment(PARAMS)
+        commitment, _ = scheme.commit(7, random.Random(0))
+        assert not scheme.verify(commitment, Opening("junk", "junk"))
+
+
+class TestTrapdoorCommitment:
+    def test_requires_trapdoor_or_rng(self):
+        with pytest.raises(InvalidParameterError):
+            TrapdoorCommitment(GROUP)
+
+    def test_trapdoor_range_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TrapdoorCommitment(GROUP, trapdoor=0)
+        with pytest.raises(InvalidParameterError):
+            TrapdoorCommitment(GROUP, trapdoor=GROUP.q)
+
+    def test_honest_use_matches_pedersen(self):
+        scheme = TrapdoorCommitment(GROUP, rng=random.Random(0))
+        commitment, opening = scheme.commit(3, random.Random(1))
+        assert scheme.verify(commitment, opening)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equivocation(self, original, target):
+        scheme = TrapdoorCommitment(GROUP, trapdoor=12345)
+        commitment, opening = scheme.commit(original, random.Random(9))
+        equivocated = scheme.equivocate(opening, target)
+        assert equivocated.value == target % GROUP.q
+        assert scheme.verify(commitment, equivocated)
+
+    def test_equivocated_opening_differs(self):
+        scheme = TrapdoorCommitment(GROUP, trapdoor=777)
+        commitment, opening = scheme.commit(0, random.Random(2))
+        equivocated = scheme.equivocate(opening, 1)
+        assert equivocated.randomness != opening.randomness
+        assert scheme.verify(commitment, opening)
+        assert scheme.verify(commitment, equivocated)

@@ -1,0 +1,133 @@
+"""Tests for the exact CR/G gap computations and estimator convergence."""
+
+import random
+
+import pytest
+
+from repro.core import HONEST, cr_report, g_report
+from repro.distributions import (
+    all_equal,
+    bernoulli_product,
+    near_product_mixture,
+    parity,
+    singleton,
+    uniform,
+)
+from repro.distributions.analytic import (
+    cr_achievability_floor,
+    exact_cr_gap,
+    exact_g_gap,
+    g_achievability_floor,
+)
+from repro.errors import DistributionError
+from repro.net.adversary import PassiveAdversary
+from repro.protocols import IdealSimultaneousBroadcast
+
+
+class TestExactCRGap:
+    def test_products_have_zero_floor(self):
+        for distribution in (uniform(4), bernoulli_product([0.2, 0.7, 0.5, 0.5])):
+            gap, _ = exact_cr_gap(distribution)
+            assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_singletons_have_zero_floor(self):
+        gap, _ = exact_cr_gap(singleton([1, 0, 1]))
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_equal_floor_is_quarter(self):
+        """P(x1=0)P(x2=0) - P(both 0) = 0.25 - 0.5 -> gap 0.25."""
+        gap, witness = exact_cr_gap(all_equal(4))
+        assert gap == pytest.approx(0.25)
+        assert "W[" in witness or "parity" in witness
+
+    def test_parity_floor_is_quarter(self):
+        gap, witness = exact_cr_gap(parity(4))
+        assert gap == pytest.approx(0.25)
+        assert "parity" in witness
+
+    def test_mixture_floor_scales_with_delta(self):
+        small = cr_achievability_floor(near_product_mixture(4, delta=0.05))
+        large = cr_achievability_floor(near_product_mixture(4, delta=0.4))
+        assert small < 0.05
+        assert large > 0.08
+        assert small < large
+
+    def test_coordinate_restriction(self):
+        gap, witness = exact_cr_gap(all_equal(3), coordinates=[2])
+        assert gap == pytest.approx(0.25)
+        assert "coordinate 2" in witness
+        with pytest.raises(DistributionError):
+            exact_cr_gap(all_equal(3), coordinates=[9])
+
+
+class TestExactGGap:
+    def test_vacuous_without_corruption(self):
+        gap, witness = exact_g_gap(uniform(3), corrupted=[])
+        assert gap == 0.0 and "vacuous" in witness
+
+    def test_products_have_zero_floor(self):
+        gap, _ = exact_g_gap(bernoulli_product([0.3, 0.5, 0.8]), corrupted=[2])
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_equal_floor_is_one(self):
+        gap, witness = exact_g_gap(all_equal(4), corrupted=[4])
+        assert gap == pytest.approx(1.0)
+        assert "coordinate 4" in witness
+
+    def test_parity_floor_is_one(self):
+        # The last coordinate is determined by the other three.
+        assert g_achievability_floor(parity(4), corrupted=[1]) == pytest.approx(1.0)
+
+    def test_mixture_floor(self):
+        gap, _ = exact_g_gap(near_product_mixture(4, delta=0.3), corrupted=[4])
+        assert 0.5 < gap < 1.0
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            exact_g_gap(uniform(3), corrupted=[7])
+        with pytest.raises(DistributionError):
+            exact_g_gap(uniform(3), corrupted=[1, 2, 3])
+
+
+class TestEstimatorConvergence:
+    """The sampled estimators converge to the exact floors on the ideal
+    protocol — validating estimator and floor against each other."""
+
+    def test_cr_estimator_converges(self):
+        distribution = all_equal(4)
+        exact, _ = exact_cr_gap(distribution)
+        report = cr_report(
+            IdealSimultaneousBroadcast(4, 1),
+            distribution,
+            HONEST,
+            samples=2000,
+            rng=random.Random(42),
+        )
+        assert report.gap == pytest.approx(exact, abs=0.04)
+
+    def test_g_estimator_converges(self):
+        distribution = near_product_mixture(4, delta=0.3)
+        exact, _ = exact_g_gap(distribution, corrupted=[4])
+        report = g_report(
+            IdealSimultaneousBroadcast(4, 1),
+            distribution,
+            lambda: PassiveAdversary(corrupted=[4]),
+            samples=3000,
+            rng=random.Random(43),
+            min_condition_count=100,
+        )
+        assert report.gap == pytest.approx(exact, abs=0.08)
+
+    def test_exact_floor_lower_bounds_any_protocol(self):
+        """Lemma 5.2 analytically: the measured CR gap of any correct
+        protocol is at least the distribution's floor (within noise)."""
+        distribution = parity(4)
+        floor = cr_achievability_floor(distribution)
+        report = cr_report(
+            IdealSimultaneousBroadcast(4, 1),
+            distribution,
+            HONEST,
+            samples=1500,
+            rng=random.Random(44),
+        )
+        assert report.gap >= floor - 0.05

@@ -1,0 +1,221 @@
+"""Tests for BGW evaluation and the trusted-party ideal process."""
+
+import random
+
+import pytest
+
+from repro.crypto.field import PrimeField
+from repro.errors import InvalidParameterError, ProtocolError
+from repro.mpc.bgw import BGWProtocol, bgw_evaluate
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.circuit import Circuit
+from repro.mpc.gfunc import GFunctionality, build_g_circuit, g_reference
+from repro.mpc.ideal import (
+    FSBFunctionality,
+    TrustedPartyMailbox,
+    TrustedPartyProtocol,
+)
+from repro.net.adversary import Adversary, PassiveAdversary, ProgramAdversary
+from repro.net.network import run_protocol
+
+F = PrimeField(101)
+
+
+def product_circuit():
+    """out = x1 * x2 + x3 over GF(101)."""
+    circuit = Circuit(F)
+    x1 = circuit.input(1, "v")
+    x2 = circuit.input(2, "v")
+    x3 = circuit.input(3, "v")
+    circuit.mark_output(circuit.add(circuit.mul(x1, x2), x3))
+    return circuit
+
+
+class TestBGWBasics:
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BGWProtocol(product_circuit(), n=4, t=2)
+
+    def test_linear_only_circuit(self):
+        circuit = Circuit(F)
+        x1 = circuit.input(1, "v")
+        x2 = circuit.input(2, "v")
+        circuit.mark_output(circuit.add(circuit.scale(x1, 3), x2))
+        protocol = BGWProtocol(circuit, n=3, t=1)
+        execution = run_protocol(
+            protocol, [{"v": 5}, {"v": 7}, {}], seed=1
+        )
+        for i in (1, 2, 3):
+            assert execution.outputs[i] == (22,)
+
+    def test_multiplication(self):
+        protocol = BGWProtocol(product_circuit(), n=3, t=1)
+        execution = run_protocol(
+            protocol, [{"v": 6}, {"v": 7}, {"v": 9}], seed=2
+        )
+        for i in (1, 2, 3):
+            assert execution.outputs[i] == ((6 * 7 + 9) % 101,)
+
+    def test_results_identical_across_parties_and_seeds(self):
+        protocol = BGWProtocol(product_circuit(), n=5, t=2)
+        for seed in range(3):
+            execution = run_protocol(
+                protocol,
+                [{"v": 2}, {"v": 3}, {"v": 4}, {}, {}],
+                seed=seed,
+            )
+            values = {execution.outputs[i] for i in range(1, 6)}
+            assert values == {(10,)}
+
+    def test_missing_input_defaults_to_zero(self):
+        protocol = BGWProtocol(product_circuit(), n=3, t=1)
+        execution = run_protocol(protocol, [{}, {"v": 7}, {"v": 9}], seed=3)
+        assert execution.outputs[1] == (9,)
+
+    def test_round_complexity_scales_with_mul_depth(self):
+        # depth-2 multiplication chain: ((x1*x2)*x3)
+        circuit = Circuit(F)
+        x1 = circuit.input(1, "v")
+        x2 = circuit.input(2, "v")
+        x3 = circuit.input(3, "v")
+        circuit.mark_output(circuit.mul(circuit.mul(x1, x2), x3))
+        protocol = BGWProtocol(circuit, n=3, t=1)
+        execution = run_protocol(
+            protocol, [{"v": 2}, {"v": 3}, {"v": 4}], seed=4
+        )
+        assert execution.outputs[1] == (24,)
+        # input round + 2 mul rounds + output round
+        assert execution.communication_rounds == 4
+
+    def test_passive_corruption_does_not_change_result(self):
+        protocol = BGWProtocol(product_circuit(), n=5, t=2)
+        execution = run_protocol(
+            protocol,
+            [{"v": 2}, {"v": 3}, {"v": 4}, {}, {}],
+            adversary=PassiveAdversary(corrupted=[4, 5]),
+            seed=5,
+        )
+        for i in (1, 2, 3):
+            assert execution.outputs[i] == (10,)
+
+    def test_privacy_of_shares(self):
+        """t shares leak nothing: party 3's view of party 1's input share is
+        statistically independent of the input (sampled check)."""
+        circuit = Circuit(F)
+        x1 = circuit.input(1, "v")
+        x2 = circuit.input(2, "v")
+        circuit.mark_output(circuit.add(x1, x2))
+        samples = 300
+        parity_rate = {}
+        for secret in (0, 50):
+            parity_ones = 0
+            for seed in range(samples):
+                protocol = BGWProtocol(circuit, n=3, t=1)
+                execution = run_protocol(
+                    protocol, [{"v": secret}, {"v": 1}, {}], seed=seed
+                )
+                share_messages = [
+                    m
+                    for m in execution.messages_in_round(1)
+                    if m.sender == 1 and m.recipient == 3
+                ]
+                value = share_messages[0].payload[0][1]
+                parity_ones += value % 2
+            parity_rate[secret] = parity_ones / samples
+        # The parity of a uniform share is (nearly) unbiased regardless of
+        # the secret; a leak would show up as a gap between the two rates.
+        assert abs(parity_rate[0] - parity_rate[50]) < 0.12
+
+
+class TestBGWOnG:
+    @pytest.mark.parametrize("b_mask", [(0, 0, 0), (1, 1, 0), (1, 0, 1)])
+    def test_g_circuit_end_to_end(self, b_mask):
+        n = 3
+        circuit = build_g_circuit(n)
+        protocol = BGWProtocol(circuit, n=n, t=1)
+        xs = (1, 0, 1)
+        inputs = [
+            {"x": xs[i], "b": b_mask[i], "rho": 0} for i in range(n)
+        ]
+        execution = run_protocol(protocol, inputs, seed=6)
+        w = execution.outputs[1]
+        raised = [i for i in range(n) if b_mask[i] == 1]
+        if len(raised) == 2:
+            assert (w[0] ^ w[1] ^ w[2]) == 0
+        else:
+            assert w == xs
+
+    def test_g_circuit_random_coin_via_rho(self):
+        n = 3
+        circuit = build_g_circuit(n)
+        protocol = BGWProtocol(circuit, n=n, t=1)
+        inputs = [
+            {"x": 0, "b": 1, "rho": 1},
+            {"x": 0, "b": 1, "rho": 0},
+            {"x": 0, "b": 0, "rho": 1},
+        ]
+        execution = run_protocol(protocol, inputs, seed=7)
+        # r = 1^0^1 = 0, y = x3 = 0 -> w = (0, 0, 0)
+        assert execution.outputs[1] == (0, 0, 0)
+
+
+class TestTrustedParty:
+    def test_fsb_roundtrip(self):
+        protocol = TrustedPartyProtocol(FSBFunctionality(4))
+        execution = run_protocol(protocol, [1, 0, 1, 1], seed=8)
+        for i in range(1, 5):
+            assert execution.outputs[i] == (1, 0, 1, 1)
+
+    def test_silent_corrupted_party_defaults(self):
+        protocol = TrustedPartyProtocol(FSBFunctionality(3))
+        execution = run_protocol(
+            protocol, [1, 1, 1], adversary=Adversary(corrupted=[2]), seed=9
+        )
+        assert execution.outputs[1] == (1, 0, 1)
+
+    def test_no_network_traffic(self):
+        protocol = TrustedPartyProtocol(FSBFunctionality(3))
+        execution = run_protocol(protocol, [1, 0, 1], seed=10)
+        assert execution.all_messages() == []
+
+    def test_double_submit_rejected(self):
+        mailbox = TrustedPartyMailbox(FSBFunctionality(2), random.Random(0))
+        mailbox.submit(1, 1)
+        with pytest.raises(ProtocolError):
+            mailbox.submit(1, 0)
+
+    def test_submit_after_freeze_ignored(self):
+        mailbox = TrustedPartyMailbox(FSBFunctionality(2), random.Random(0))
+        mailbox.submit(1, 1)
+        assert mailbox.result(1) == (1, 0)
+        mailbox.submit(2, 1)  # too late; silently ignored
+        assert mailbox.result(2) == (1, 0)
+        assert mailbox.frozen
+
+    def test_early_peek_cannot_choose_input(self):
+        """A corrupted program that reads the result before submitting gets
+        the early view but its own input is frozen to the default."""
+
+        def peeker(ctx, value):
+            mailbox = ctx.config["mailbox"]
+            peeked = mailbox.result(ctx.party_id)
+            mailbox.submit(ctx.party_id, 1 - peeked[0])  # try to anti-correlate
+            yield []
+            return mailbox.result(ctx.party_id)
+
+        protocol = TrustedPartyProtocol(FSBFunctionality(3))
+        execution = run_protocol(
+            protocol,
+            [1, 1, None],
+            adversary=ProgramAdversary({3: peeker}),
+            seed=11,
+        )
+        # Party 3's announced value is the default 0, not the adaptive 1-x1.
+        assert execution.outputs[1] == (1, 1, 0)
+
+    def test_g_functionality_trusted_party(self):
+        protocol = TrustedPartyProtocol(GFunctionality(4))
+        execution = run_protocol(
+            protocol, [(1, 0), (0, 0), (1, 0), (0, 0)], seed=12
+        )
+        assert execution.outputs[2] == (1, 0, 1, 0)

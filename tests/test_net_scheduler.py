@@ -1,0 +1,274 @@
+"""Tests for the round engine: delivery, rushing, termination, transcripts."""
+
+import random
+
+import pytest
+
+from repro.errors import ConsistencyError, NetworkError, ProtocolError
+from repro.net.adversary import Adversary, PassiveAdversary, ProgramAdversary
+from repro.net.message import Draft, Inbox, Message, broadcast, send
+from repro.net.network import run_protocol
+from repro.net.scheduler import Scheduler
+from repro.net.party import PartyContext
+
+
+class EchoProtocol:
+    """Round 1: everyone broadcasts its input.  Round 2: output what was heard."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def setup(self, rng):
+        return {"name": "echo"}
+
+    def program(self, ctx, value):
+        inbox = yield [broadcast(value, tag="val")]
+        heard = inbox.payload_by_sender(tag="val")
+        return tuple(heard.get(i) for i in range(1, ctx.n + 1))
+
+
+class PingPongProtocol:
+    """Party 1 sends to 2, party 2 replies; measures point-to-point latency."""
+
+    def __init__(self):
+        self.n = 2
+
+    def setup(self, rng):
+        return None
+
+    def program(self, ctx, value):
+        if ctx.party_id == 1:
+            inbox = yield [send(2, ("ping", value))]
+            inbox = yield []
+            reply = inbox.first_from(2)
+            return reply.payload if reply else None
+        inbox = yield []
+        ping = inbox.first_from(1)
+        inbox = yield [send(1, ("pong", ping.payload[1]))]
+        return "done"
+
+
+class NeverTerminates:
+    def __init__(self):
+        self.n = 2
+
+    def setup(self, rng):
+        return None
+
+    def program(self, ctx, value):
+        while True:
+            yield []
+
+
+class TestBasicExecution:
+    def test_echo_all_honest(self):
+        execution = run_protocol(EchoProtocol(3), [10, 20, 30], seed=1)
+        for i in (1, 2, 3):
+            assert execution.outputs[i] == (10, 20, 30)
+        assert execution.round_count == 2
+
+    def test_ping_pong(self):
+        execution = run_protocol(PingPongProtocol(), ["x", None], seed=1)
+        assert execution.outputs[1] == ("pong", "x")
+        assert execution.outputs[2] == "done"
+
+    def test_exec_vector_shape(self):
+        execution = run_protocol(EchoProtocol(2), [1, 0], seed=1)
+        vector = execution.exec_vector
+        assert len(vector) == 3
+        assert vector[0] is None  # no-adversary output
+        assert vector[1] == (1, 0)
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(NetworkError):
+            run_protocol(NeverTerminates(), [None, None], seed=1, max_rounds=5)
+
+    def test_input_count_validated(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(EchoProtocol(3), [1, 2], seed=1)
+
+    def test_all_corrupted_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                EchoProtocol(2), [1, 2], adversary=Adversary(corrupted=[1, 2]), seed=1
+            )
+
+    def test_out_of_range_corruption_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                EchoProtocol(2), [1, 2], adversary=Adversary(corrupted=[5]), seed=1
+            )
+
+    def test_deterministic_under_seed(self):
+        e1 = run_protocol(EchoProtocol(3), [1, 0, 1], seed=7)
+        e2 = run_protocol(EchoProtocol(3), [1, 0, 1], seed=7)
+        assert e1.outputs == e2.outputs
+        assert [r.messages for r in e1.rounds] == [r.messages for r in e2.rounds]
+
+    def test_transcript_records_traffic(self):
+        execution = run_protocol(EchoProtocol(2), [5, 6], seed=1)
+        round1 = execution.messages_in_round(1)
+        assert {m.payload for m in round1} == {5, 6}
+        assert execution.messages_in_round(99) == []
+        assert len(execution.all_messages()) == 2
+        history = execution.broadcast_history()
+        assert (1, 1, 5) in history and (1, 2, 6) in history
+
+
+class TestSilentCorruption:
+    def test_crashed_party_delivers_nothing(self):
+        execution = run_protocol(
+            EchoProtocol(3), [10, 20, 30], adversary=Adversary(corrupted=[2]), seed=1
+        )
+        assert execution.outputs[1] == (10, None, 30)
+        assert 2 not in execution.outputs
+
+    def test_honest_list(self):
+        execution = run_protocol(
+            EchoProtocol(3), [1, 1, 1], adversary=Adversary(corrupted=[2]), seed=1
+        )
+        assert execution.honest == [1, 3]
+        with pytest.raises(ConsistencyError):
+            execution.honest_output(2)
+
+
+class TestPassiveAdversary:
+    def test_corrupted_behave_honestly(self):
+        execution = run_protocol(
+            EchoProtocol(3),
+            [10, 20, 30],
+            adversary=PassiveAdversary(corrupted=[2]),
+            seed=1,
+        )
+        assert execution.outputs[1] == (10, 20, 30)
+        assert execution.adversary_output[2] == (10, 20, 30)
+
+    def test_requires_program_factory_installed(self):
+        adversary = PassiveAdversary(corrupted=[1])
+        with pytest.raises(ProtocolError):
+            adversary.setup(2, None, {}, random.Random(0))
+
+
+class TestProgramAdversary:
+    def test_malicious_program_replaces_value(self):
+        def liar(ctx, value):
+            inbox = yield [broadcast(999, tag="val")]
+            return None
+
+        execution = run_protocol(
+            EchoProtocol(3),
+            [10, 20, 30],
+            adversary=ProgramAdversary({2: liar}),
+            seed=1,
+        )
+        assert execution.outputs[1] == (10, 999, 30)
+
+    def test_input_override(self):
+        def honest_like(ctx, value):
+            inbox = yield [broadcast(value, tag="val")]
+            return None
+
+        execution = run_protocol(
+            EchoProtocol(3),
+            [10, 20, 30],
+            adversary=ProgramAdversary({2: honest_like}, inputs_override={2: -1}),
+            seed=1,
+        )
+        assert execution.outputs[1] == (10, -1, 30)
+
+
+class TestRushing:
+    def test_adversary_sees_current_round_honest_broadcasts(self):
+        """A rushing adversary echoes an honest round-1 broadcast in round 1."""
+
+        class RushEcho(Adversary):
+            def act(self, round_number, rushed):
+                if round_number == 1:
+                    seen = rushed[2].broadcasts(tag="val")
+                    honest_value = next(
+                        m.payload for m in seen if m.sender == 1
+                    )
+                    return {2: [broadcast(honest_value, tag="val")]}
+                return {2: []}
+
+        execution = run_protocol(
+            EchoProtocol(3), [10, 20, 30], adversary=RushEcho(corrupted=[2]), seed=1
+        )
+        # Party 2's announced value equals party 1's, decided within round 1.
+        assert execution.outputs[1] == (10, 10, 30)
+
+    def test_rushed_point_to_point_traffic(self):
+        """Honest round-r p2p messages to corrupted parties arrive in round r."""
+
+        observed_rounds = {}
+
+        class Recorder(Adversary):
+            def act(self, round_number, rushed):
+                for message in rushed[2]:
+                    if not message.is_broadcast:
+                        observed_rounds.setdefault(message.payload, round_number)
+                return {2: []}
+
+        execution = run_protocol(
+            PingPongProtocol(), ["x", None], adversary=Recorder(corrupted=[2]), seed=1
+        )
+        # Party 1 sends ("ping", "x") in round 1; the adversary must see it in round 1.
+        assert observed_rounds[("ping", "x")] == 1
+
+    def test_honest_parties_are_not_rushed(self):
+        """Honest parties see round-r messages only in round r+1 (EchoProtocol
+        outputs would be impossible otherwise: they hear values one round later)."""
+        execution = run_protocol(EchoProtocol(2), [1, 2], seed=0)
+        assert execution.round_count == 2
+
+    def test_adversary_observes_all_channels(self):
+        class Observer(Adversary):
+            def finish(self):
+                return [m.payload for m in self.observed_messages]
+
+        execution = run_protocol(
+            PingPongProtocol(), ["x", None], adversary=Observer(corrupted=[]), seed=1
+        )
+        # Wait: corrupted=[] means no corrupted parties, but observe still sees traffic.
+        assert ("ping", "x") in execution.adversary_output
+        assert ("pong", "x") in execution.adversary_output
+
+    def test_forged_honest_sender_rejected(self):
+        class Forger(Adversary):
+            def act(self, round_number, rushed):
+                return {2: [Message(sender=1, recipient=3, payload="fake")]}
+
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                EchoProtocol(3), [1, 2, 3], adversary=Forger(corrupted=[2]), seed=1
+            )
+
+    def test_forged_corrupted_sender_allowed(self):
+        class CorruptForger(Adversary):
+            def act(self, round_number, rushed):
+                if round_number == 1:
+                    return {
+                        2: [
+                            Message(sender=4, recipient=1, payload="from-4"),
+                            Draft(recipient=1, payload="from-2").stamped(2),
+                        ]
+                    }
+                return {2: []}
+
+        class Listen:
+            n = 4
+
+            def setup(self, rng):
+                return None
+
+            def program(self, ctx, value):
+                inbox = yield []
+                return sorted(m.payload for m in inbox)
+
+        execution = run_protocol(
+            Listen(),
+            [None] * 4,
+            adversary=CorruptForger(corrupted=[2, 4]),
+            seed=1,
+        )
+        assert execution.outputs[1] == ["from-2", "from-4"]

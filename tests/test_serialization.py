@@ -1,0 +1,90 @@
+"""Tests for the canonical byte encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import serialization
+from repro.serialization import encode, encode_many
+
+
+simple_values = st.one_of(
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.booleans(),
+    st.none(),
+)
+
+nested_values = st.recursive(
+    simple_values,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestEncodeBasics:
+    def test_none(self):
+        assert encode(None) == b"n"
+
+    def test_booleans_distinct_from_ints(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_int_sign_encoded(self):
+        assert encode(5) != encode(-5)
+
+    def test_zero(self):
+        assert encode(0).startswith(b"i")
+
+    def test_str_vs_bytes_distinct(self):
+        assert encode("abc") != encode(b"abc")
+
+    def test_bytearray_same_as_bytes(self):
+        assert encode(bytearray(b"xy")) == encode(b"xy")
+
+    def test_tuple_and_list_equal(self):
+        assert encode((1, 2)) == encode([1, 2])
+
+    def test_dict_key_order_irrelevant(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+    def test_unsupported_nested_type_raises(self):
+        with pytest.raises(TypeError):
+            encode([1, {1: object()}])
+
+    def test_encode_many_is_tuple_encoding(self):
+        assert encode_many(1, "a") == encode((1, "a"))
+
+    def test_length_prefix_width(self):
+        assert serialization._LEN_BYTES == 8
+
+
+class TestEncodeInjectivity:
+    @given(nested_values, nested_values)
+    def test_distinct_values_distinct_encodings(self, left, right):
+        if left != right:
+            assert encode(left) != encode(right)
+
+    @given(nested_values)
+    def test_deterministic(self, value):
+        assert encode(value) == encode(value)
+
+    def test_concatenation_ambiguity_avoided(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert encode(("ab", "c")) != encode(("a", "bc"))
+
+    def test_nesting_ambiguity_avoided(self):
+        assert encode([[1], 2]) != encode([1, [2]])
+
+    def test_empty_containers_distinct(self):
+        assert encode([]) != encode({})
+        assert encode([]) != encode("")
+        assert encode("") != encode(b"")
