@@ -1,0 +1,31 @@
+"""Benchmark E-COST: regenerate and verify the measured-complexity report."""
+
+from repro.experiments.cost import TITLE, run
+
+from .conftest import run_once
+
+
+def test_bench_cost(benchmark, bench_config):
+    """E-COST — {}""".format(TITLE)
+    result = run_once(benchmark, run, bench_config)
+    assert result.passed
+    checks = result.data["checks"]
+    # Every certification must hold individually, not just their conjunction.
+    failing = [name for name, ok in checks.items() if not ok]
+    assert not failing, f"failed cost certifications: {failing}"
+
+    measured = result.data["measured"]
+    sizes = sorted(measured["sequential"])
+    n_hi = sizes[-1]
+    # The round separation, from measured counters.
+    assert measured["sequential"][n_hi]["rounds"] == n_hi
+    assert measured["cgma"][n_hi]["rounds"] == 3 * n_hi + 1
+    assert measured["gennaro"][n_hi]["rounds"] == measured["gennaro"][sizes[0]]["rounds"]
+    # Counter/transcript exactness on a deterministic seed.
+    for per_n in measured.values():
+        for record in per_n.values():
+            assert record["counters_match_transcript"]
+            assert record["seed"] == bench_config.seed
+    # The emulation's message blowup is at least quadratic in n.
+    for n, record in result.data["emulation"].items():
+        assert record["message_blowup"] >= (n - 1) ** 2

@@ -10,7 +10,7 @@ from .stats import (
     empirical_tv,
     hoeffding_halfwidth,
 )
-from .tables import render_figure1, render_table
+from .tables import render_cost_report, render_figure1, render_table
 from .trend import TrendVerdict, assess_trend
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "empirical_tv",
     "hoeffding_halfwidth",
     "render_table",
+    "render_cost_report",
     "render_figure1",
     "TrendVerdict",
     "assess_trend",

@@ -35,6 +35,37 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_cost_report(
+    zoo_rows: Iterable[Sequence[object]],
+    emulation_rows: Iterable[Sequence[object]] = (),
+    title: str = "",
+) -> str:
+    """Render the E-COST measured-complexity report.
+
+    ``zoo_rows`` carry one row per (n, protocol):
+    ``(n, protocol, rounds, messages, bytes, group_exp, vss_verified,
+    field_mul)``.  ``emulation_rows`` carry the OverPointToPoint blowup:
+    ``(n, inner_msgs, p2p_msgs, msg_blowup, inner_rounds, p2p_rounds)``.
+    """
+    sections: List[str] = [
+        render_table(
+            ["n", "protocol", "rounds", "msgs", "bytes", "grp-exp", "vss-vrfy", "fld-mul"],
+            zoo_rows,
+            title=title,
+        )
+    ]
+    emulation_rows = list(emulation_rows)
+    if emulation_rows:
+        sections.append(
+            render_table(
+                ["n", "inner msgs", "p2p msgs", "msg blowup", "inner rnds", "p2p rnds"],
+                emulation_rows,
+                title="OverPointToPoint emulation: what 'assume a broadcast channel' hides",
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def render_figure1(cells: dict) -> str:
     """Render the Figure 1 implication diagram from measured arrows.
 

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Tuple
 from ..crypto.group import SchnorrGroup
 from ..crypto.signatures import KeyDirectory
 from ..errors import ProtocolError
+from ..obs import runtime as _obs
 from ..net.compose import run_in_lockstep
 from ..net.message import BROADCAST, Draft, Inbox, Message
 from ..net.party import PartyContext
@@ -132,6 +133,10 @@ class OverPointToPoint:
                 else:
                     p2p_drafts.append(draft)
 
+            if _obs.metrics is not None:
+                _obs.metrics.inc("emulation.windows")
+                _obs.metrics.inc("emulation.bundled_broadcasts", len(bundle))
+                _obs.metrics.inc("emulation.p2p_passthrough", len(p2p_drafts))
             subprotocols: Dict[Any, Any] = {
                 "_collect": _collector(ctx, p2p_drafts, window_rounds, ds_prefix)
             }
@@ -148,6 +153,7 @@ class OverPointToPoint:
             results = yield from run_in_lockstep(subprotocols)
 
             synthesized: List[Message] = list(results["_collect"])
+            before_synthesis = len(synthesized)
             for sender in range(1, self.n + 1):
                 decided = results[sender]
                 if not isinstance(decided, tuple):
@@ -166,6 +172,11 @@ class OverPointToPoint:
                         )
                     )
 
+            if _obs.metrics is not None:
+                _obs.metrics.inc(
+                    "emulation.synthesized_broadcasts",
+                    len(synthesized) - before_synthesis,
+                )
             try:
                 drafts = list(generator.send(Inbox(synthesized)))
             except StopIteration as stop:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, Union
 
 from ..errors import InvalidParameterError
+from ..obs import runtime as _obs
 
 IntoElement = Union["FieldElement", int]
 
@@ -150,6 +151,8 @@ class FieldElement:
 
     def __mul__(self, other: IntoElement) -> "FieldElement":
         rhs = self._coerce(other)
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.field.mul")
         return FieldElement(self.field, (self.value * rhs.value) % self.field.modulus)
 
     __rmul__ = __mul__

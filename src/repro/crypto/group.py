@@ -20,6 +20,7 @@ from functools import lru_cache
 from typing import Tuple
 
 from ..errors import InvalidParameterError
+from ..obs import runtime as _obs
 from .field import PrimeField, is_probable_prime
 
 MIN_SECURITY_BITS = 8
@@ -67,13 +68,19 @@ class GroupElement:
 
     def __mul__(self, other: "GroupElement") -> "GroupElement":
         self.group._check_member(other)
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.group.mul")
         return GroupElement(self.group, (self.value * other.value) % self.group.p)
 
     def __pow__(self, exponent) -> "GroupElement":
         exp = int(exponent) % self.group.q
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.group.exp")
         return GroupElement(self.group, pow(self.value, exp, self.group.p))
 
     def inverse(self) -> "GroupElement":
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.group.inv")
         return GroupElement(self.group, pow(self.value, -1, self.group.p))
 
     def __truediv__(self, other: "GroupElement") -> "GroupElement":

@@ -13,6 +13,7 @@ from typing import Any
 
 from .. import serialization
 from ..errors import InvalidParameterError
+from ..obs import runtime as _obs
 
 
 def random_oracle(*values: Any, length: int = 32) -> bytes:
@@ -28,6 +29,9 @@ def random_oracle(*values: Any, length: int = 32) -> bytes:
         ).digest()
         output.extend(block)
         counter += 1
+    if _obs.metrics is not None:
+        _obs.metrics.inc("crypto.ro.calls")
+        _obs.metrics.inc("crypto.hash.blocks", counter)
     return bytes(output[:length])
 
 
@@ -53,12 +57,16 @@ class PRG:
     def next_bytes(self, count: int) -> bytes:
         if count < 0:
             raise InvalidParameterError("count must be non-negative")
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.prg.calls")
         while len(self._buffer) < count:
             block = hashlib.sha256(
                 b"simbcast-prg:" + self._counter.to_bytes(8, "big") + self._seed
             ).digest()
             self._buffer.extend(block)
             self._counter += 1
+            if _obs.metrics is not None:
+                _obs.metrics.inc("crypto.hash.blocks")
         output = bytes(self._buffer[:count])
         del self._buffer[:count]
         return output

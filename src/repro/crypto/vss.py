@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence, Tuple
 
 from ..errors import InvalidParameterError, ShareError
+from ..obs import runtime as _obs
 from .commitment import PedersenParameters
 from .field import FieldElement
 from .group import GroupElement, SchnorrGroup
@@ -59,6 +60,8 @@ class FeldmanVSS:
         self.parties = parties
 
     def deal(self, secret: int, rng) -> FeldmanDealing:
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.deals")
         polynomial, shares = self.sharing.share(secret, rng)
         coefficients = list(polynomial.coefficients)
         # Pad so the commitment vector always has threshold+1 entries even if
@@ -70,14 +73,21 @@ class FeldmanVSS:
 
     def verify_share(self, commitments: Sequence[GroupElement], share: Share) -> bool:
         """Check g^{f(i)} against the committed coefficients."""
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.shares_verified")
         if len(commitments) != self.threshold + 1:
+            if _obs.metrics is not None:
+                _obs.metrics.inc("crypto.vss.shares_rejected")
             return False
         expected = self.group.identity()
         x_power = 1
         for commitment in commitments:
             expected = expected * (commitment ** x_power)
             x_power = (x_power * share.x) % self.group.q
-        return self.group.power(share.value.value) == expected
+        ok = self.group.power(share.value.value) == expected
+        if not ok and _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.shares_rejected")
+        return ok
 
     def commitment_to_secret(self, commitments: Sequence[GroupElement]) -> GroupElement:
         """The implied commitment g^s to the shared secret (x = 0)."""
@@ -118,6 +128,8 @@ class PedersenVSS:
         self.parties = parties
 
     def deal(self, secret: int, rng) -> PedersenDealing:
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.deals")
         value_poly, value_shares = self.sharing.share(secret, rng)
         blind_poly, blind_shares = self.sharing.share(self.field.random(rng), rng)
         value_coeffs = list(value_poly.coefficients)
@@ -141,7 +153,11 @@ class PedersenVSS:
     def verify_share(
         self, commitments: Sequence[GroupElement], share: PedersenShare
     ) -> bool:
+        if _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.shares_verified")
         if len(commitments) != self.threshold + 1:
+            if _obs.metrics is not None:
+                _obs.metrics.inc("crypto.vss.shares_rejected")
             return False
         expected = self.group.identity()
         x_power = 1
@@ -151,7 +167,10 @@ class PedersenVSS:
         actual = (self.parameters.g ** share.value.value) * (
             self.parameters.h ** share.blinding.value
         )
-        return actual == expected
+        ok = actual == expected
+        if not ok and _obs.metrics is not None:
+            _obs.metrics.inc("crypto.vss.shares_rejected")
+        return ok
 
     def reconstruct(
         self, commitments: Sequence[GroupElement], shares: Iterable[PedersenShare]

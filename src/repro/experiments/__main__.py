@@ -1,13 +1,22 @@
-"""CLI driver: ``python -m repro.experiments [EXPERIMENT_ID ...] [--scale S]``."""
+"""CLI driver: ``python -m repro.experiments [EXPERIMENT_ID ...] [options]``.
+
+* default — run the named experiments (all of them if none given), print
+  each rendered table, and exit nonzero if any reports MISMATCH;
+* ``--list`` — print the registry (id + title) and exit;
+* ``--json DIR`` — additionally dump each result (table, data, notes, and
+  the measured cost metrics) as ``DIR/<EXPERIMENT_ID>.json``.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 from .common import ExperimentConfig
-from .registry import REGISTRY, run_experiment
+from .registry import REGISTRY, TITLES, run_experiment
 
 
 def main(argv=None) -> int:
@@ -21,11 +30,42 @@ def main(argv=None) -> int:
         default=list(REGISTRY),
         help=f"experiment ids (default: all of {sorted(REGISTRY)})",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list experiment ids and titles, then exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="write each result (including metrics) as DIR/<EXPERIMENT_ID>.json",
+    )
     parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
     parser.add_argument("--n", type=int, default=5, help="number of parties")
     parser.add_argument("--t", type=int, default=2, help="corruption bound")
     parser.add_argument("--seed", type=int, default=20050717)
     args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        width = max(len(experiment_id) for experiment_id in REGISTRY)
+        for experiment_id in REGISTRY:
+            print(f"{experiment_id.ljust(width)}  {TITLES[experiment_id]}")
+        return 0
+
+    unknown = [e for e in args.experiments if e not in REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown experiment id(s): {', '.join(unknown)} "
+            f"(see --list for the registry)"
+        )
+
+    if args.json is not None:
+        try:
+            os.makedirs(args.json, exist_ok=True)
+        except (OSError, FileExistsError) as exc:
+            parser.error(f"--json target {args.json!r} is not a usable directory: {exc}")
 
     config = ExperimentConfig(n=args.n, t=args.t, seed=args.seed, scale=args.scale)
     failures = 0
@@ -35,6 +75,11 @@ def main(argv=None) -> int:
         elapsed = time.time() - start
         print(result.render())
         print(f"  ({elapsed:.1f}s)\n")
+        if args.json is not None:
+            path = os.path.join(args.json, f"{result.experiment_id}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(result.to_json_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
         if not result.passed:
             failures += 1
     return 1 if failures else 0

@@ -62,6 +62,13 @@ class ExperimentResult:
     data: Dict[str, Any] = field(default_factory=dict)
     passed: bool = True
     notes: List[str] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    """Measured cost of producing this result (counters/histograms/wall time).
+
+    Populated automatically by :func:`repro.experiments.registry.run_experiment`
+    from the :mod:`repro.obs` layer; experiments that take their own
+    measurements (e.g. E-COST) may add structured entries of their own.
+    """
 
     def render(self) -> str:
         status = "PASS" if self.passed else "MISMATCH"
@@ -70,6 +77,20 @@ class ExperimentResult:
             lines.append("")
             lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dump of the full result (for ``--json`` artifacts)."""
+        from ..obs import jsonable
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "passed": self.passed,
+            "table": self.table,
+            "notes": list(self.notes),
+            "data": jsonable(self.data),
+            "metrics": jsonable(self.metrics),
+        }
 
 
 # -- protocol & adversary shorthands used across experiments ------------------------

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List
 
 from ..errors import ExperimentError
+from ..obs import Metrics, runtime as _obs_runtime
 from . import (
     ablation,
     appendix_b,
     claim56,
     claim66,
+    cost,
     figure1,
     lemma52,
     lemma54,
@@ -33,6 +36,7 @@ _MODULES = (
     lemma64,
     claim66,
     rounds,
+    cost,
     trend_k,
     ablation,
     appendix_b,
@@ -48,13 +52,29 @@ TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODU
 def run_experiment(
     experiment_id: str, config: ExperimentConfig = ExperimentConfig()
 ) -> ExperimentResult:
+    """Run one experiment with cost accounting attached to its result.
+
+    Every run executes under a fresh :class:`repro.obs.Metrics` registry, so
+    the returned :class:`ExperimentResult` carries the measured cost of
+    producing it (rounds, messages, bytes, crypto ops, wall-clock seconds)
+    alongside the scientific payload.  Experiments that scope their own
+    measurements (E-COST) keep whatever they already recorded.
+    """
     try:
         runner = REGISTRY[experiment_id]
     except KeyError:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
-    return runner(config)
+    start = time.perf_counter()
+    with _obs_runtime.observed(metrics=Metrics()) as (_, metrics):
+        result = runner(config)
+    elapsed = time.perf_counter() - start
+    snapshot = metrics.snapshot()
+    result.metrics.setdefault("wall_seconds", elapsed)
+    result.metrics.setdefault("counters", snapshot["counters"])
+    result.metrics.setdefault("histograms", snapshot["histograms"])
+    return result
 
 
 def run_all(config: ExperimentConfig = ExperimentConfig()) -> List[ExperimentResult]:

@@ -25,6 +25,7 @@ from ..crypto.polynomial import lagrange_coefficients_at_zero
 from ..crypto.secret_sharing import ShamirSharing, Share
 from ..errors import InvalidParameterError, ShareError
 from ..net.message import send
+from ..obs import runtime as _obs
 from .circuit import ADD, CONST, INPUT, MUL, SCALE, SUB, Circuit
 
 
@@ -67,6 +68,9 @@ def bgw_evaluate(
         _, shares = sharing.share(value, ctx.rng)
         for j in range(1, n + 1):
             per_recipient[j].append((gate_id, shares[j].value.value))
+    if _obs.metrics is not None:
+        _obs.metrics.inc("mpc.bgw.evaluations")
+        _obs.metrics.inc("mpc.bgw.input_wires_shared", len(my_wires))
     inbox = yield [
         send(j, tuple(per_recipient[j]), tag=in_tag) for j in range(1, n + 1)
     ]
@@ -125,6 +129,9 @@ def bgw_evaluate(
         if not pending_muls:
             raise ShareError("circuit evaluation deadlocked (malformed circuit)")
 
+        if _obs.metrics is not None:
+            _obs.metrics.inc("mpc.bgw.mul_rounds")
+            _obs.metrics.inc("mpc.bgw.mul_gates", len(pending_muls))
         # Local degree-2t products, then reshare each down to degree t.
         per_recipient = {j: [] for j in range(1, n + 1)}
         for gate_id in pending_muls:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Hashable, Iterable, List
 
 from ..errors import ProtocolError
+from ..obs import runtime as _obs
 from .message import Draft, Inbox
 
 SubProtocol = Generator[Iterable[Draft], Inbox, Any]
@@ -36,6 +37,9 @@ def run_in_lockstep(subprotocols: Dict[Hashable, SubProtocol]):
     """
     active: Dict[Hashable, SubProtocol] = dict(subprotocols)
     results: Dict[Hashable, Any] = {}
+    if _obs.metrics is not None:
+        _obs.metrics.inc("net.lockstep.groups")
+        _obs.metrics.observe("net.lockstep.width", len(active))
 
     # Prime every sub-generator, collecting the first round's drafts.
     outbox: List[Draft] = []
@@ -51,6 +55,8 @@ def run_in_lockstep(subprotocols: Dict[Hashable, SubProtocol]):
     while active:
         inbox = yield outbox
         outbox = []
+        if _obs.metrics is not None:
+            _obs.metrics.inc("net.lockstep.rounds")
         for key in list(active):
             try:
                 drafts = active[key].send(inbox)

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Any, Optional, Sequence
 
+from ..obs import runtime as _obs
 from .adversary import Adversary
 from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
 from .transcript import Execution
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_SEED = 0
+"""The seed used when the caller provides neither ``rng`` nor ``seed``."""
 
 
 def run_protocol(
@@ -32,12 +39,35 @@ def run_protocol(
         adversary: a :class:`repro.net.adversary.Adversary`; defaults to an
             execution with no corruptions.
         rng / seed: explicit randomness for reproducibility. ``seed`` is a
-            convenience for ``random.Random(seed)``.
+            convenience for ``random.Random(seed)``.  When neither is given
+            the run falls back to :data:`DEFAULT_SEED`; the effective seed is
+            logged, traced, and recorded on the returned :class:`Execution`
+            so every run artifact is reproducible from its transcript alone.
         max_rounds: abort guard.
         session: session identifier mixed into signatures and proofs.
     """
+    effective_seed: Optional[int] = seed
+    defaulted = False
     if rng is None:
-        rng = random.Random(seed if seed is not None else 0)
+        if seed is None:
+            effective_seed = DEFAULT_SEED
+            defaulted = True
+            logger.info(
+                "run_protocol(%s): no rng/seed supplied; using default seed %d",
+                type(protocol).__name__,
+                DEFAULT_SEED,
+            )
+        rng = random.Random(effective_seed)
+    elif seed is None:
+        # An externally constructed rng: its seed is unknown to us.
+        effective_seed = None
+    if _obs.tracer.enabled:
+        _obs.tracer.event(
+            "run_protocol.seed",
+            protocol=type(protocol).__name__,
+            seed=effective_seed,
+            defaulted=defaulted,
+        )
     if adversary is None:
         adversary = Adversary(corrupted=())
     config = protocol.setup(rng)
@@ -50,5 +80,6 @@ def run_protocol(
         config=config,
         session=session or type(protocol).__name__,
         max_rounds=max_rounds,
+        seed=effective_seed,
     )
     return scheduler.run()

@@ -20,6 +20,8 @@ import random
 from typing import Any, Callable, Dict, List, Sequence
 
 from ..errors import NetworkError, ProtocolError
+from ..obs import runtime as _obs
+from ..obs.metrics import payload_size
 from .adversary import Adversary
 from .message import Draft, Inbox, Message, RoundRecord
 from .party import PartyContext, PartyState
@@ -43,6 +45,7 @@ class Scheduler:
         config: Any = None,
         session: str = "",
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        seed: Any = None,
     ):
         if len(inputs) != n:
             raise ProtocolError(f"expected {n} inputs, got {len(inputs)}")
@@ -59,6 +62,7 @@ class Scheduler:
         self.config = config
         self.session = session
         self.max_rounds = max_rounds
+        self.seed = seed
         self._program_factory = program_factory
 
         self.honest_ids = [i for i in range(1, n + 1) if i not in adversary.corrupted]
@@ -93,6 +97,23 @@ class Scheduler:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> Execution:
+        tracer = _obs.tracer
+        if not tracer.enabled:
+            return self._run_rounds()
+        with tracer.span(
+            "scheduler.run",
+            n=self.n,
+            session=self.session,
+            corrupted=sorted(self.adversary.corrupted),
+            seed=self.seed,
+        ) as span:
+            execution = self._run_rounds()
+            span.set(rounds=execution.round_count)
+            return execution
+
+    def _run_rounds(self) -> Execution:
+        tracer = _obs.tracer
+        metrics = _obs.metrics
         rounds: List[RoundRecord] = []
         # Messages sent in the previous round, keyed by recipient.
         pending: Dict[int, List[Message]] = {i: [] for i in range(1, self.n + 1)}
@@ -158,18 +179,48 @@ class Scheduler:
             rounds.append(RoundRecord(round=round_number, messages=traffic))
             started = True
 
+            if metrics is not None:
+                metrics.inc("net.rounds")
+                metrics.inc("net.messages.sent", len(traffic))
+                metrics.inc("net.messages.honest", len(honest_traffic))
+                metrics.inc("net.messages.corrupted", len(corrupted_traffic))
+                round_bytes = 0
+                for message in traffic:
+                    size = payload_size(message.payload)
+                    round_bytes += size
+                    metrics.inc(f"net.messages.sent.party.{message.sender}")
+                    metrics.inc(f"net.bytes.sent.party.{message.sender}", size)
+                    if message.is_broadcast:
+                        metrics.inc("net.messages.broadcast")
+                metrics.inc("net.bytes.sent", round_bytes)
+                metrics.observe("net.round.messages", len(traffic))
+                metrics.observe("net.round.bytes", round_bytes)
+            if tracer.enabled:
+                tracer.event(
+                    "scheduler.round",
+                    round=round_number,
+                    messages=len(traffic),
+                    honest=len(honest_traffic),
+                    corrupted=len(corrupted_traffic),
+                )
+
             # 3. Buffer everything for next-round delivery.
             pending = {i: [] for i in range(1, self.n + 1)}
+            delivered = 0
             for message in traffic:
                 if message.is_broadcast:
                     for i in range(1, self.n + 1):
                         pending[i].append(message)
+                    delivered += self.n
                 else:
                     if not 1 <= message.recipient <= self.n:
                         raise ProtocolError(
                             f"message to unknown party {message.recipient}"
                         )
                     pending[message.recipient].append(message)
+                    delivered += 1
+            if metrics is not None:
+                metrics.inc("net.messages.delivered", delivered)
             # Corrupted parties already saw this round's honest traffic; only
             # corrupted-to-corrupted traffic still awaits them next round.
             stale_for_corrupted = {
@@ -189,4 +240,5 @@ class Scheduler:
             adversary_output=self.adversary.finish(),
             rounds=rounds,
             config=self.config,
+            seed=self.seed,
         )

@@ -10,7 +10,7 @@ output followed by the parties' outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConsistencyError
 from .message import Message, RoundRecord
@@ -27,6 +27,14 @@ class Execution:
     adversary_output: Any
     rounds: List[RoundRecord] = field(default_factory=list)
     config: Any = None
+    seed: Optional[int] = None
+    """The effective integer seed the run was derived from, when known.
+
+    Recorded by :func:`repro.net.network.run_protocol` so every execution
+    artifact states how to reproduce itself; ``None`` means the caller
+    supplied an externally seeded ``random.Random`` whose seed the
+    framework cannot recover.
+    """
 
     @property
     def honest(self) -> List[int]:

@@ -1,0 +1,198 @@
+"""Execution tracing: nested wall-clock spans and structured events.
+
+A :class:`Tracer` accumulates an ordered list of records, each a plain
+dict.  Two record types exist:
+
+* ``{"type": "span", "name", "path", "depth", "start", "end",
+  "duration", "attrs"}`` — appended when a span *closes* (so a parent
+  span appears after its children, as in most trace formats);
+* ``{"type": "event", "name", "path", "ts", "attrs"}`` — appended
+  inline, stamped with the enclosing span path.
+
+``path`` is the slash-joined chain of open span names ("scheduler.run/
+round"), which is what makes the flat JSONL stream reconstructible into a
+tree.  All timestamps come from ``time.perf_counter`` relative to the
+tracer's creation, so traces are diffable across runs.
+
+:class:`NoopTracer` implements the same surface with every method a
+no-op; the module-level :data:`NOOP_TRACER` is the process default (see
+:mod:`repro.obs.runtime`).  Instrumented code gates attr-dict
+construction on ``tracer.enabled`` so the disabled path allocates
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .metrics import jsonable
+
+
+class _SpanHandle:
+    """Context manager for one open span; supports late attribute updates."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = self._tracer._now()
+        self._tracer._stack.append(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        path = "/".join(tracer._stack)
+        tracer._stack.pop()
+        end = tracer._now()
+        attrs = self.attrs
+        if exc_type is not None:
+            attrs = dict(attrs)
+            attrs["error"] = exc_type.__name__
+        tracer.records.append(
+            {
+                "type": "span",
+                "name": self.name,
+                "path": path,
+                "depth": len(tracer._stack),
+                "start": self._start,
+                "end": end,
+                "duration": end - self._start,
+                "attrs": jsonable(attrs),
+            }
+        )
+
+
+class Tracer:
+    """Collects spans and events for one observed run."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self._stack: List[str] = []
+        self.records: List[Dict[str, Any]] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a nested span: ``with tracer.span("scheduler.run", n=5):``."""
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time structured event inside the current span."""
+        self.records.append(
+            {
+                "type": "event",
+                "name": name,
+                "path": "/".join(self._stack),
+                "ts": self._now(),
+                "attrs": jsonable(attrs),
+            }
+        )
+
+    # -- reading / export --------------------------------------------------------
+
+    @property
+    def current_depth(self) -> int:
+        return len(self._stack)
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            record
+            for record in self.records
+            if record["type"] == "span" and (name is None or record["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            record
+            for record in self.records
+            if record["type"] == "event" and (name is None or record["name"] == name)
+        ]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in record order (the trace artifact)."""
+        return "\n".join(json.dumps(record, sort_keys=True) for record in self.records)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text)
+                handle.write("\n")
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.records)} records)"
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Load a trace written by :meth:`Tracer.write_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class _NullSpan:
+    """A reusable, state-free context manager."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopTracer:
+    """The default tracer: every operation does nothing and stores nothing."""
+
+    enabled = False
+    records: tuple = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def spans(self, name: Optional[str] = None) -> list:
+        return []
+
+    def events(self, name: Optional[str] = None) -> list:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        return "NoopTracer()"
+
+
+NOOP_TRACER = NoopTracer()

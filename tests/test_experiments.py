@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "E-L64",
     "E-C66",
     "E-RND",
+    "E-COST",
     "E-TRD",
     "E-ABL",
     "E-APB",
@@ -114,6 +115,8 @@ class TestCLI:
         code = cli_main(["E-RND", "--scale", "0.05", "--seed", "7"])
         assert code == 0
 
-    def test_cli_unknown_experiment_raises(self):
-        with pytest.raises(ExperimentError):
+    def test_cli_unknown_experiment_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             cli_main(["E-NOPE"])
+        assert excinfo.value.code == 2
+        assert "E-NOPE" in capsys.readouterr().err

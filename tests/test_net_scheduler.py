@@ -10,6 +10,7 @@ from repro.net.message import Draft, Inbox, Message, broadcast, send
 from repro.net.network import run_protocol
 from repro.net.scheduler import Scheduler
 from repro.net.party import PartyContext
+from repro.obs import Metrics, Tracer, payload_size, runtime as obs_runtime
 
 
 class EchoProtocol:
@@ -272,3 +273,93 @@ class TestRushing:
             seed=1,
         )
         assert execution.outputs[1] == ["from-2", "from-4"]
+
+
+class TestSeedRecording:
+    def test_seed_recorded_on_execution(self):
+        assert run_protocol(EchoProtocol(2), [1, 0], seed=9).seed == 9
+        # The silent default is no longer silent: it is recorded as 0.
+        assert run_protocol(EchoProtocol(2), [1, 0]).seed == 0
+        # An externally seeded rng cannot be recovered; recorded as unknown.
+        assert run_protocol(EchoProtocol(2), [1, 0], rng=random.Random(5)).seed is None
+
+    def test_default_seed_matches_explicit_zero(self):
+        defaulted = run_protocol(EchoProtocol(3), [1, 0, 1])
+        explicit = run_protocol(EchoProtocol(3), [1, 0, 1], seed=0)
+        assert defaulted.outputs == explicit.outputs
+        assert defaulted.seed == explicit.seed == 0
+
+    def test_seed_traced(self):
+        tracer = Tracer()
+        with obs_runtime.observed(tracer=tracer):
+            run_protocol(EchoProtocol(2), [1, 0])
+        (event,) = tracer.events("run_protocol.seed")
+        assert event["attrs"]["seed"] == 0
+        assert event["attrs"]["defaulted"] is True
+        (span,) = tracer.spans("scheduler.run")
+        assert span["attrs"]["seed"] == 0
+
+
+class TestInstrumentation:
+    """Scheduler counters must match the execution transcript exactly."""
+
+    def _observed_run(self, protocol, inputs, adversary=None, seed=1):
+        with obs_runtime.observed(metrics=Metrics()) as (_, metrics):
+            execution = run_protocol(protocol, inputs, adversary=adversary, seed=seed)
+        return execution, metrics
+
+    def test_message_and_round_counters_match_transcript(self):
+        execution, metrics = self._observed_run(EchoProtocol(3), [10, 20, 30])
+        messages = execution.all_messages()
+        assert metrics.get("net.rounds") == execution.round_count == 2
+        assert metrics.get("net.messages.sent") == len(messages) == 3
+        assert metrics.get("net.messages.honest") == 3
+        assert metrics.get("net.messages.corrupted") == 0
+        assert metrics.get("net.messages.broadcast") == 3
+        # Each broadcast is delivered to all 3 parties.
+        assert metrics.get("net.messages.delivered") == 9
+
+    def test_byte_counters_match_transcript(self):
+        execution, metrics = self._observed_run(EchoProtocol(3), [10, 20, 30])
+        expected = sum(payload_size(m.payload) for m in execution.all_messages())
+        assert metrics.get("net.bytes.sent") == expected
+        per_party = {
+            i: sum(
+                payload_size(m.payload)
+                for m in execution.all_messages()
+                if m.sender == i
+            )
+            for i in (1, 2, 3)
+        }
+        for i, size in per_party.items():
+            assert metrics.get(f"net.messages.sent.party.{i}") == 1
+            assert metrics.get(f"net.bytes.sent.party.{i}") == size
+        assert sum(per_party.values()) == expected
+
+    def test_point_to_point_accounting(self):
+        execution, metrics = self._observed_run(PingPongProtocol(), ["x", None])
+        messages = execution.all_messages()
+        assert metrics.get("net.messages.sent") == len(messages) == 2
+        assert metrics.get("net.messages.broadcast") == 0
+        # p2p messages are delivered to exactly one recipient each.
+        assert metrics.get("net.messages.delivered") == 2
+        assert metrics.get("net.messages.sent.party.1") == 1
+        assert metrics.get("net.messages.sent.party.2") == 1
+
+    def test_corrupted_traffic_counted(self):
+        execution, metrics = self._observed_run(
+            EchoProtocol(3), [10, 20, 30], adversary=PassiveAdversary(corrupted=[2])
+        )
+        assert metrics.get("net.messages.honest") == 2
+        assert metrics.get("net.messages.corrupted") == 1
+        assert metrics.get("net.messages.sent") == len(execution.all_messages()) == 3
+
+    def test_counters_deterministic_across_replays(self):
+        _, first = self._observed_run(EchoProtocol(3), [1, 0, 1], seed=7)
+        _, second = self._observed_run(EchoProtocol(3), [1, 0, 1], seed=7)
+        assert first.counters == second.counters
+
+    def test_uninstrumented_run_pays_no_bookkeeping(self):
+        execution = run_protocol(EchoProtocol(3), [10, 20, 30], seed=1)
+        assert obs_runtime.metrics is None
+        assert execution.round_count == 2

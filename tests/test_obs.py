@@ -1,0 +1,280 @@
+"""Tests for the observability layer: tracer, metrics, runtime, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    Histogram,
+    Metrics,
+    NoopTracer,
+    Tracer,
+    jsonable,
+    payload_size,
+    read_jsonl,
+    runtime,
+)
+from repro import serialization
+
+
+class TestMetrics:
+    def test_counter_math(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        metrics.inc("a")
+        metrics.inc("a", 3)
+        metrics.inc("b", 0.5)
+        assert metrics.get("a") == 5
+        assert metrics.get("b") == 0.5
+        assert metrics.get("missing") == 0
+        assert metrics.get("missing", default=-1) == -1
+
+    def test_histogram_statistics(self):
+        metrics = Metrics()
+        for value in (4, 1, 7):
+            metrics.observe("h", value)
+        snap = metrics.snapshot()["histograms"]["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == 12
+        assert snap["min"] == 1
+        assert snap["max"] == 7
+        assert snap["mean"] == 4
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.snapshot() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_counters_with_prefix(self):
+        metrics = Metrics()
+        metrics.inc("net.messages.sent.party.1", 2)
+        metrics.inc("net.messages.sent.party.2", 3)
+        metrics.inc("net.rounds")
+        per_party = metrics.counters_with_prefix("net.messages.sent.party.")
+        assert per_party == {
+            "net.messages.sent.party.1": 2,
+            "net.messages.sent.party.2": 3,
+        }
+
+    def test_merge(self):
+        first, second = Metrics(), Metrics()
+        first.inc("a", 2)
+        first.observe("h", 1)
+        second.inc("a", 3)
+        second.inc("b")
+        second.observe("h", 5)
+        first.merge(second)
+        assert first.get("a") == 5
+        assert first.get("b") == 1
+        merged = first.histograms["h"]
+        assert merged.count == 2 and merged.min == 1 and merged.max == 5
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.inc("x", 2)
+        metrics.observe("y", 1.5)
+        json.dumps(metrics.snapshot())
+
+    def test_write_json(self, tmp_path):
+        metrics = Metrics()
+        metrics.inc("net.rounds", 7)
+        path = tmp_path / "metrics.json"
+        metrics.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["counters"]["net.rounds"] == 7
+
+
+class TestPayloadSize:
+    def test_matches_canonical_encoding(self):
+        for payload in (0, "hi", (1, "x", b"y"), {"k": [1, 2]}, None, True):
+            assert payload_size(payload) == len(serialization.encode(payload))
+
+    def test_unencodable_payload_falls_back(self):
+        class Weird:
+            pass
+
+        assert payload_size(Weird()) > 0
+
+
+class TestJsonable:
+    def test_structures(self):
+        value = {"t": (1, 2), "s": frozenset([3, 1]), "b": b"\x01", 5: "key"}
+        converted = jsonable(value)
+        assert converted == {"t": [1, 2], "s": [1, 3], "b": "01", "5": "key"}
+        json.dumps(converted)
+
+    def test_fallback_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert jsonable(Opaque()) == "<opaque>"
+
+
+class TestTracer:
+    def test_span_nesting_paths_and_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer", n=2):
+            assert tracer.current_depth == 1
+            with tracer.span("inner"):
+                assert tracer.current_depth == 2
+                tracer.event("tick", round=1)
+        assert tracer.current_depth == 0
+        spans = tracer.spans()
+        # Children close before parents.
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["path"] == "outer/inner" and inner["depth"] == 1
+        assert outer["path"] == "outer" and outer["depth"] == 0
+        assert outer["attrs"] == {"n": 2}
+        (event,) = tracer.events("tick")
+        assert event["path"] == "outer/inner"
+        assert event["attrs"] == {"round": 1}
+
+    def test_span_timing_is_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert 0 <= outer["start"] <= inner["start"]
+        assert inner["end"] <= outer["end"]
+        assert inner["duration"] <= outer["duration"]
+
+    def test_span_late_attributes_and_errors(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set(items=3)
+        with pytest.raises(ValueError):
+            with tracer.span("broken"):
+                raise ValueError("boom")
+        ok, broken = tracer.spans()
+        assert ok["attrs"] == {"items": 3}
+        assert broken["attrs"]["error"] == "ValueError"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("run", n=3):
+            tracer.event("round", number=1, sizes=(4, 5))
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        assert read_jsonl(path) == tracer.records
+        # Each line is standalone JSON.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(tracer.records)
+        for line in lines:
+            json.loads(line)
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Tracer().write_jsonl(path)
+        assert path.read_text() == ""
+        assert read_jsonl(path) == []
+
+
+class TestNoopTracer:
+    def test_truly_noop(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", big=list(range(3))) as span:
+            span.set(more=1)
+            tracer.event("event", x=1)
+        assert tracer.records == ()
+        assert tracer.spans() == [] and tracer.events() == []
+        assert tracer.to_jsonl() == ""
+        assert not tracer.enabled
+
+    def test_shared_instance_has_no_state(self):
+        with NOOP_TRACER.span("a"):
+            with NOOP_TRACER.span("b"):
+                NOOP_TRACER.event("c")
+        assert NOOP_TRACER.records == ()
+
+
+class TestRuntime:
+    def test_defaults_are_off(self):
+        assert runtime.metrics is None
+        assert runtime.tracer is NOOP_TRACER
+        assert not runtime.tracer.enabled
+
+    def test_observed_installs_and_restores(self):
+        tracer, metrics = Tracer(), Metrics()
+        with runtime.observed(tracer=tracer, metrics=metrics) as (tr, m):
+            assert tr is tracer and m is metrics
+            assert runtime.tracer is tracer and runtime.metrics is metrics
+        assert runtime.tracer is NOOP_TRACER and runtime.metrics is None
+
+    def test_observed_defaults_to_fresh_metrics(self):
+        with runtime.observed() as (tr, m):
+            assert tr is NOOP_TRACER
+            assert isinstance(m, Metrics)
+            assert runtime.metrics is m
+        assert runtime.metrics is None
+
+    def test_observed_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with runtime.observed(metrics=Metrics()):
+                raise RuntimeError("boom")
+        assert runtime.metrics is None and runtime.tracer is NOOP_TRACER
+
+    def test_nested_observation_is_scoped(self):
+        with runtime.observed(metrics=Metrics()) as (_, outer):
+            outer_seen = runtime.metrics
+            with runtime.observed(metrics=Metrics()) as (_, inner):
+                runtime.metrics.inc("only.inner")
+            assert runtime.metrics is outer_seen
+            assert inner.get("only.inner") == 1
+            assert outer.get("only.inner") == 0
+
+    def test_install_uninstall(self):
+        metrics = Metrics()
+        runtime.install(new_metrics=metrics)
+        try:
+            assert runtime.metrics is metrics
+            assert runtime.tracer is NOOP_TRACER
+        finally:
+            runtime.uninstall()
+        assert runtime.metrics is None
+
+
+class TestEndToEnd:
+    """The obs layer observing a real protocol execution."""
+
+    def _run(self):
+        from repro.protocols import GennaroBroadcast
+
+        protocol = GennaroBroadcast(4, 1, security_bits=16)
+        return protocol.run([1, 0, 1, 0], seed=11)
+
+    def test_execution_observed(self):
+        tracer = Tracer()
+        with runtime.observed(tracer=tracer, metrics=Metrics()) as (_, metrics):
+            execution = self._run()
+        assert metrics.get("net.rounds") == execution.round_count
+        assert metrics.get("net.messages.sent") == len(execution.all_messages())
+        assert metrics.get("crypto.group.exp") > 0
+        (span,) = tracer.spans("scheduler.run")
+        assert span["attrs"]["n"] == 4
+        assert span["attrs"]["rounds"] == execution.round_count
+        assert span["duration"] > 0
+        (seed_event,) = tracer.events("run_protocol.seed")
+        assert seed_event["attrs"]["seed"] == 11
+        assert seed_event["attrs"]["defaulted"] is False
+
+    def test_unobserved_execution_records_nothing(self):
+        probe = Metrics()
+        execution = self._run()
+        assert runtime.metrics is None
+        assert probe.counters == {}
+        assert execution.seed == 11
+
+    def test_observed_runs_do_not_change_results(self):
+        baseline = self._run()
+        with runtime.observed(metrics=Metrics()):
+            observed = self._run()
+        assert observed.outputs == baseline.outputs
+        assert [r.messages for r in observed.rounds] == [
+            r.messages for r in baseline.rounds
+        ]
