@@ -16,8 +16,8 @@ from .announced import (
     sample_announced,
     sample_announced_fixed,
 )
-from .cr import cr_report
-from .g import g_report
+from .cr import cr_report, cr_report_from_samples
+from .g import g_report, g_report_from_samples
 from .gstar import g_star_report, g_star_star_report
 from .predicates import (
     Predicate,
@@ -53,7 +53,9 @@ __all__ = [
     "sample_announced",
     "sample_announced_fixed",
     "cr_report",
+    "cr_report_from_samples",
     "g_report",
+    "g_report_from_samples",
     "g_star_report",
     "g_star_star_report",
     "sb_report",

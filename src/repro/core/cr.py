@@ -39,12 +39,32 @@ def cr_report(
     """Estimate the CR gap of Π under adversary A and input distribution D."""
     if samples < 10:
         raise ExperimentError("CR estimation needs at least 10 samples")
-    if predicates is None:
-        predicates = default_family(protocol.n)
-
     draws = sample_announced(protocol, distribution, adversary_factory, samples, rng)
+    return cr_report_from_samples(
+        draws, protocol.n, predicates=predicates, distribution_name=distribution.name
+    )
+
+
+def cr_report_from_samples(
+    draws,
+    n: int,
+    predicates: Optional[Sequence[Predicate]] = None,
+    distribution_name: str = "",
+) -> IndependenceReport:
+    """The estimation step of :func:`cr_report`, on pre-drawn samples.
+
+    Splitting sampling from estimation lets :mod:`repro.parallel` draw the
+    samples in sharded worker processes and fold them back here; the
+    estimate depends only on the multiset of draws, in order.
+    """
+    samples = len(draws)
+    if samples < 10:
+        raise ExperimentError("CR estimation needs at least 10 samples")
+    if predicates is None:
+        predicates = default_family(n)
+
     corrupted = draws[0].corrupted
-    honest = [i for i in range(1, protocol.n + 1) if i not in corrupted]
+    honest = [i for i in range(1, n + 1) if i not in corrupted]
 
     worst_gap = 0.0
     witness = ""
@@ -80,6 +100,6 @@ def cr_report(
         details={
             "corrupted": sorted(corrupted),
             "predicates": len(predicates),
-            "distribution": distribution.name,
+            "distribution": distribution_name,
         },
     )

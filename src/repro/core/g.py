@@ -41,8 +41,31 @@ def g_report(
     if samples < 10:
         raise ExperimentError("G estimation needs at least 10 samples")
     draws = sample_announced(protocol, distribution, adversary_factory, samples, rng)
+    return g_report_from_samples(
+        draws,
+        protocol.n,
+        min_condition_count=min_condition_count,
+        distribution_name=distribution.name,
+    )
+
+
+def g_report_from_samples(
+    draws,
+    n: int,
+    min_condition_count: int = DEFAULT_MIN_CONDITION_COUNT,
+    distribution_name: str = "",
+) -> IndependenceReport:
+    """The estimation step of :func:`g_report`, on pre-drawn samples.
+
+    Splitting sampling from estimation lets :mod:`repro.parallel` draw the
+    samples in sharded worker processes and fold them back here; the
+    estimate depends only on the multiset of draws, in order.
+    """
+    samples = len(draws)
+    if samples < 10:
+        raise ExperimentError("G estimation needs at least 10 samples")
     corrupted = sorted(draws[0].corrupted)
-    honest = [i for i in range(1, protocol.n + 1) if i not in draws[0].corrupted]
+    honest = [i for i in range(1, n + 1) if i not in draws[0].corrupted]
 
     if not corrupted:
         return IndependenceReport(
@@ -51,7 +74,7 @@ def g_report(
             error=0.0,
             samples=samples,
             witness="no corrupted parties (vacuous)",
-            details={"distribution": distribution.name},
+            details={"distribution": distribution_name},
         )
 
     # Bucket draws by the honest projection of the announced vector.
@@ -98,6 +121,6 @@ def g_report(
         details={
             "corrupted": corrupted,
             "conditioning_events": len(usable),
-            "distribution": distribution.name,
+            "distribution": distribution_name,
         },
     )

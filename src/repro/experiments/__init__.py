@@ -3,19 +3,25 @@
 See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for measured
 results.  Run everything with::
 
-    python -m repro.experiments
+    python -m repro.experiments --jobs 4
 
-or programmatically via :func:`repro.experiments.registry.run_all`.
+or programmatically via :func:`repro.experiments.registry.run_all`
+(``parallel=N`` shards across worker processes with bit-identical
+results; see :mod:`repro.parallel`).
 """
 
-from .common import ExperimentConfig, ExperimentResult
-from .registry import REGISTRY, TITLES, run_all, run_experiment
+from .common import ExperimentConfig, ExperimentResult, TrialPlan, TrialShard
+from .registry import REGISTRY, SHARDED_IDS, TITLES, run_all, run_experiment, run_many
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "REGISTRY",
+    "SHARDED_IDS",
     "TITLES",
+    "TrialPlan",
+    "TrialShard",
     "run_all",
     "run_experiment",
+    "run_many",
 ]

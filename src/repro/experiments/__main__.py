@@ -4,7 +4,10 @@
   each rendered table, and exit nonzero if any reports MISMATCH;
 * ``--list`` — print the registry (id + title) and exit;
 * ``--json DIR`` — additionally dump each result (table, data, notes, and
-  the measured cost metrics) as ``DIR/<EXPERIMENT_ID>.json``.
+  the measured cost metrics) as ``DIR/<EXPERIMENT_ID>.json``;
+* ``--jobs N`` — shard the run across N worker processes (default: all
+  CPUs; results are bit-identical at every worker count, so ``--jobs`` is
+  purely a wall-clock knob — see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -13,10 +16,10 @@ import argparse
 import json
 import os
 import sys
-import time
 
+from ..parallel import default_jobs
 from .common import ExperimentConfig
-from .registry import REGISTRY, TITLES, run_experiment
+from .registry import REGISTRY, TITLES, run_many
 
 
 def main(argv=None) -> int:
@@ -41,6 +44,14 @@ def main(argv=None) -> int:
         metavar="DIR",
         default=None,
         help="write each result (including metrics) as DIR/<EXPERIMENT_ID>.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = serial; "
+        "results are identical at any value)",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
     parser.add_argument("--n", type=int, default=5, help="number of parties")
@@ -67,13 +78,18 @@ def main(argv=None) -> int:
         except (OSError, FileExistsError) as exc:
             parser.error(f"--json target {args.json!r} is not a usable directory: {exc}")
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+
     config = ExperimentConfig(n=args.n, t=args.t, seed=args.seed, scale=args.scale)
+    experiment_ids = args.experiments or list(REGISTRY)
+    results = run_many(experiment_ids, config, jobs=jobs)
+
     failures = 0
-    for experiment_id in args.experiments or list(REGISTRY):
-        start = time.time()
-        result = run_experiment(experiment_id, config)
-        elapsed = time.time() - start
+    for result in results:
         print(result.render())
+        elapsed = result.metrics.get("wall_seconds", 0.0)
         print(f"  ({elapsed:.1f}s)\n")
         if args.json is not None:
             path = os.path.join(args.json, f"{result.experiment_id}.json")

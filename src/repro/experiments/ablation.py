@@ -18,6 +18,8 @@ narrative revolves around.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import time
 
 from ..adversaries import CommitEchoAdversary
@@ -36,7 +38,8 @@ CONFIGS = (
 )
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     n, t, k = config.n, config.t, config.security_bits
     per_point = config.samples(100, floor=40)
 

@@ -18,6 +18,8 @@ never G-violated on a locally independent distribution.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import g_report, g_star_report, g_star_star_report
 from ..distributions import uniform
@@ -35,7 +37,8 @@ EXPERIMENT_ID = "E-APB"
 TITLE = "Appendix B — G* and G** characterize G"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     n, t = config.n, config.t
     per_point = config.samples(200, floor=100)
     g_samples = config.samples(2400, floor=600)

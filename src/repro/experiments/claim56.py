@@ -3,9 +3,16 @@
 Regenerates the strict inclusion chain of distribution classes with
 measured membership bits for a battery of distributions, including the
 witness for each strict inclusion.
+
+The battery rows are independent, so the experiment shards one task per
+distribution across :class:`repro.parallel.ExperimentEngine` workers; the
+membership computations are analytic (no RNG), so sharded and serial runs
+are identical by construction.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional
 
 from ..analysis import render_table
 from ..distributions import (
@@ -22,15 +29,19 @@ from ..distributions import (
     singleton,
     uniform,
 )
+from ..parallel import SERIAL_ENGINE, ExperimentEngine
 from .common import ExperimentConfig, ExperimentResult
 
 EXPERIMENT_ID = "E-C56"
 TITLE = "Claim 5.6 — the achievable-distribution chain"
 
+SUPPORTS_ENGINE = True
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
-    n = config.n
-    battery = [
+_CLASSES = ("Singleton", "Uniform", "D(G)", "D(CR)", "D(Sb)")
+
+
+def _battery(n: int) -> List:
+    return [
         singleton([0] * n),
         singleton([1] * n),
         uniform(n),
@@ -40,21 +51,45 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
         parity(n),
         all_equal(n),
     ]
+
+
+def _membership_trial(n: int, index: int):
+    """One shardable trial: the membership row of battery distribution ``index``."""
+    distribution = _battery(n)[index]
+    bits = {
+        "Singleton": SINGLETON.contains(distribution),
+        "Uniform": UNIFORM.contains(distribution),
+        "D(G)": PSI_L.contains(distribution),
+        "D(CR)": PSI_C.contains(distribution),
+        "D(Sb)": ALL.contains(distribution),
+    }
+    return (
+        distribution.name,
+        bits,
+        distribution.product_gap(),
+        distribution.local_independence_gap(),
+    )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
+    engine = SERIAL_ENGINE if engine is None else engine
+    n = config.n
+    battery_size = len(_battery(n))
+
+    trials = engine.map(_membership_trial, [(n, index) for index in range(battery_size)])
+
     rows = []
     memberships = {}
-    for distribution in battery:
-        bits = {
-            "Singleton": SINGLETON.contains(distribution),
-            "Uniform": UNIFORM.contains(distribution),
-            "D(G)": PSI_L.contains(distribution),
-            "D(CR)": PSI_C.contains(distribution),
-            "D(Sb)": ALL.contains(distribution),
-        }
-        memberships[distribution.name] = bits
+    for name, bits, product_gap, local_gap in trials:
+        memberships[name] = bits
         rows.append(
-            [distribution.name]
-            + ["yes" if bits[c] else "no" for c in ("Singleton", "Uniform", "D(G)", "D(CR)", "D(Sb)")]
-            + [f"{distribution.product_gap():.3f}", f"{distribution.local_independence_gap():.3f}"]
+            [name]
+            + ["yes" if bits[c] else "no" for c in _CLASSES]
+            + [f"{product_gap:.3f}", f"{local_gap:.3f}"]
         )
 
     # The chain is verified if membership is monotone along the chain for

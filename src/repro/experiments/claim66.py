@@ -5,23 +5,73 @@ the execution of Π_G under the two-party auxiliary-bit adversary A*
 yields announced values with ⊕_i W_i = 0 — on every single run, for both
 Θ backends.  We also check the honest-coordinate pass-through and that
 the rigged coordinates really are random (both values occur).
+
+Every (backend, seed, input-vector) execution is keyed by an explicit
+seed, so the trial grid shards freely across
+:class:`repro.parallel.ExperimentEngine` workers: per-shard aggregates
+(run counts, XOR hits, rigged-value sets, pass-through flags) fold with
+sums / unions / conjunctions, which are partition-independent.
 """
 
 from __future__ import annotations
 
 import itertools
+from typing import Optional, Tuple
 
 from ..analysis import render_table
 from ..protocols import PiGBroadcast
-from .common import ExperimentConfig, ExperimentResult, xor_factory
+from ..parallel import SERIAL_ENGINE, ExperimentEngine
+from .common import ExperimentConfig, ExperimentResult, TrialPlan, xor_factory
 
 EXPERIMENT_ID = "E-C66"
 TITLE = "Claim 6.6 — the XOR invariant of A* against Pi_G"
 
+SUPPORTS_ENGINE = True
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+#: Plan salts are only namespace markers here (the trials consume explicit
+#: seeds, not salted RNG streams), but registering them keeps the shard
+#: bookkeeping uniform across the shardable experiments.
+_PLAN_SALTS = {"ideal": 0x66A, "bgw": 0x66B}
+
+
+def _xor_shard(n: int, t: int, backend: str, seeds: Tuple[int, ...]):
+    """Run the A* trial grid for one batch of seeds on one Θ backend."""
+    protocol = PiGBroadcast(n, t, backend=backend)
+    attacker_factory = xor_factory(protocol)
+    runs = 0
+    zero_count = 0
+    rigged_values = set()
+    honest_ok = True
+    for seed in seeds:
+        for inputs in itertools.islice(itertools.product((0, 1), repeat=n), 4):
+            announced = protocol.announced(
+                list(inputs), adversary=attacker_factory(), seed=seed
+            )
+            xor = 0
+            for w in announced:
+                xor ^= w
+            runs += 1
+            if xor == 0:
+                zero_count += 1
+            rigged_values.add(announced[0])
+            for j in range(3, n + 1):  # parties 3..n are honest under A*
+                honest_ok &= announced[j - 1] == inputs[j - 1]
+    return {
+        "runs": runs,
+        "zero_count": zero_count,
+        "rigged_values": frozenset(rigged_values),
+        "honest_ok": honest_ok,
+    }
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
+    engine = SERIAL_ENGINE if engine is None else engine
     n, t = config.n, config.t
-    seeds = range(config.samples(40, floor=4))
+    seed_count = config.samples(40, floor=4)
 
     rows = []
     all_zero = True
@@ -29,27 +79,18 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
     honest_ok = True
     runs = 0
     for backend in ("ideal", "bgw"):
-        protocol = PiGBroadcast(n, t, backend=backend)
-        attacker_factory = xor_factory(protocol)
-        zero_count = 0
-        backend_runs = 0
-        for seed in seeds:
-            for inputs in itertools.islice(itertools.product((0, 1), repeat=n), 4):
-                announced = protocol.announced(
-                    list(inputs), adversary=attacker_factory(), seed=seed
-                )
-                xor = 0
-                for w in announced:
-                    xor ^= w
-                backend_runs += 1
-                runs += 1
-                if xor == 0:
-                    zero_count += 1
-                else:
-                    all_zero = False
-                rigged_values.add(announced[0])
-                for j in range(3, n + 1):  # parties 3..n are honest under A*
-                    honest_ok &= announced[j - 1] == inputs[j - 1]
+        plan = TrialPlan(salt=_PLAN_SALTS[backend], total=seed_count, name=backend)
+        tasks = [
+            (n, t, backend, tuple(shard.trials())) for shard in plan.shards()
+        ]
+        shards = engine.map(_xor_shard, tasks)
+        backend_runs = sum(shard["runs"] for shard in shards)
+        zero_count = sum(shard["zero_count"] for shard in shards)
+        for shard in shards:
+            rigged_values |= shard["rigged_values"]
+            honest_ok &= shard["honest_ok"]
+        all_zero &= zero_count == backend_runs
+        runs += backend_runs
         rows.append(
             [backend, backend_runs, zero_count, f"{zero_count / backend_runs:.3f}"]
         )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List
 
 from ..adversaries import (
     InputSubstitution,
@@ -52,6 +52,101 @@ class ExperimentConfig:
 
     def samples(self, base: int, floor: int = 10) -> int:
         return max(floor, int(base * self.scale))
+
+
+# -- deterministic trial sharding ---------------------------------------------------
+#
+# Salt layout: legacy experiment salts are small integers (every call site
+# uses a value < 2**16), while per-trial salts are ``(plan_salt << 32) | trial``
+# with ``plan_salt >= 1`` — so the two namespaces can never collide, and two
+# plans with different salts can never share a trial stream.
+
+TRIAL_SALT_SHIFT = 32
+
+
+@dataclass(frozen=True)
+class TrialShard:
+    """A contiguous slice ``[start, stop)`` of a :class:`TrialPlan`'s trials."""
+
+    plan_salt: int
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def trials(self) -> range:
+        return range(self.start, self.stop)
+
+    def rng(self, config: "ExperimentConfig", trial: int) -> random.Random:
+        """The per-trial RNG, computable inside a worker from the shard alone."""
+        if not self.start <= trial < self.stop:
+            raise IndexError(f"trial {trial} outside shard [{self.start}, {self.stop})")
+        return config.rng((self.plan_salt << TRIAL_SALT_SHIFT) | trial)
+
+
+#: Default fixed shard count per plan — enough to balance an 8-way pool.
+DEFAULT_PLAN_PARTS = 8
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """A fixed batch of independent Monte-Carlo trials with per-trial RNG salts.
+
+    The plan is the unit of determinism for :mod:`repro.parallel`.  Two
+    properties make any run bit-identical at any worker count:
+
+    * every trial draws *only* from its own salted RNG
+      (``plan.rng(config, trial)``), so no trial can observe another
+      trial's stream;
+    * the shard partition is **fixed** (``parts``, not the worker count) —
+      workers only affect *where* a shard executes, never the shard
+      structure, so even per-shard setup work (protocol construction,
+      cached field tables) is charged identically in serial and parallel
+      runs.
+    """
+
+    salt: int
+    total: int
+    name: str = ""
+    parts: int = DEFAULT_PLAN_PARTS
+
+    def __post_init__(self) -> None:
+        if self.salt < 1:
+            raise ValueError("plan salt must be >= 1 (0 is the legacy default salt)")
+        if self.total < 0:
+            raise ValueError("trial count must be non-negative")
+        if self.parts < 1:
+            raise ValueError("plans need at least one part")
+
+    def trial_salt(self, trial: int) -> int:
+        if not 0 <= trial < self.total:
+            raise IndexError(f"trial {trial} outside plan of {self.total}")
+        return (self.salt << TRIAL_SALT_SHIFT) | trial
+
+    def rng(self, config: "ExperimentConfig", trial: int) -> random.Random:
+        """The RNG owned exclusively by one trial of this plan."""
+        return config.rng(self.trial_salt(trial))
+
+    def shards(self) -> List[TrialShard]:
+        """The fixed partition: ``min(parts, total)`` contiguous, balanced shards.
+
+        The partition is exact — shards are disjoint, ordered, and cover
+        ``range(total)``; sizes differ by at most one — and depends only on
+        the plan, never on how many workers will execute it.
+        """
+        parts = min(self.parts, self.total) if self.total else 0
+        shards = []
+        cursor = 0
+        for index in range(parts):
+            size = self.total // parts + (1 if index < self.total % parts else 0)
+            shards.append(TrialShard(self.salt, cursor, cursor + size))
+            cursor += size
+        return shards
+
+    def trials(self) -> Iterator[int]:
+        return iter(range(self.total))
 
 
 @dataclass

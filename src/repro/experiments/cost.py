@@ -22,11 +22,12 @@ into regression-checkable numbers using the :mod:`repro.obs` layer:
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..analysis import render_cost_report
 from ..broadcast.emulation import OverPointToPoint
 from ..obs import Metrics, payload_size, runtime
+from ..parallel import SERIAL_ENGINE, ExperimentEngine
 from ..protocols import (
     CGMABroadcast,
     ChorRabinBroadcast,
@@ -37,6 +38,8 @@ from .common import ExperimentConfig, ExperimentResult
 
 EXPERIMENT_ID = "E-COST"
 TITLE = "Measured complexity: rounds / messages / bytes / crypto ops vs n"
+
+SUPPORTS_ENGINE = True
 
 DEFAULT_SIZES = (4, 6, 8, 12, 16)
 EMULATION_SIZES = (4, 6, 8)
@@ -81,6 +84,9 @@ def measure_protocol(
     }
 
 
+_ZOO_ORDER = ("sequential", "cgma", "chor-rabin", "gennaro")
+
+
 def _zoo(n: int, t: int, k: int) -> Dict[str, Any]:
     return {
         "sequential": SequentialBroadcast(n, t),
@@ -90,44 +96,71 @@ def _zoo(n: int, t: int, k: int) -> Dict[str, Any]:
     }
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def _measure_zoo_task(name: str, n: int, t: int, k: int, seed: int):
+    """One shardable measurement: a single zoo protocol at one size."""
+    local = Metrics()
+    record = measure_protocol(_zoo(n, t, k)[name], n, seed, local)
+    return record, local
+
+
+def _measure_emulation_task(n: int, t: int, k: int, seed: int):
+    """One shardable measurement: Gennaro bare vs over point-to-point links."""
+    local = Metrics()
+    inner = measure_protocol(GennaroBroadcast(n, t, security_bits=k), n, seed, local)
+    wrapped = measure_protocol(
+        OverPointToPoint(GennaroBroadcast(n, t, security_bits=k), security_bits=k),
+        n,
+        seed,
+        local,
+    )
+    return inner, wrapped, local
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
+    engine = SERIAL_ENGINE if engine is None else engine
     sizes = [n for n in DEFAULT_SIZES if config.scale >= 1.0 or n <= 8]
     emulation_sizes = [n for n in EMULATION_SIZES if config.scale >= 1.0 or n <= 6]
     k = min(config.security_bits, 16)  # cost shapes don't depend on k
     t = 1
 
+    # Each measurement runs under its own registry (in a worker or inline) and
+    # ships the registry back; folding them in task order reproduces exactly
+    # what the old strictly-serial loop accumulated.
     aggregate = Metrics()
     measured: Dict[str, Dict[int, Dict[str, Any]]] = {}
     zoo_rows = []
-    for n in sizes:
-        for name, protocol in _zoo(n, t, k).items():
-            record = measure_protocol(protocol, n, config.seed, aggregate)
-            measured.setdefault(name, {})[n] = record
-            zoo_rows.append(
-                [
-                    n,
-                    name,
-                    record["rounds"],
-                    record["messages"],
-                    record["bytes"],
-                    record["group_exp"],
-                    record["vss_verified"],
-                    record["field_mul"],
-                ]
-            )
+    zoo_tasks: list = [
+        (name, n, t, k, config.seed) for n in sizes for name in _ZOO_ORDER
+    ]
+    for (name, n, _, _, _), (record, local) in zip(
+        zoo_tasks, engine.map(_measure_zoo_task, zoo_tasks)
+    ):
+        aggregate.merge(local)
+        measured.setdefault(name, {})[n] = record
+        zoo_rows.append(
+            [
+                n,
+                name,
+                record["rounds"],
+                record["messages"],
+                record["bytes"],
+                record["group_exp"],
+                record["vss_verified"],
+                record["field_mul"],
+            ]
+        )
 
     emulation: Dict[int, Dict[str, Any]] = {}
     emulation_rows = []
-    for n in emulation_sizes:
-        inner = measure_protocol(
-            GennaroBroadcast(n, t, security_bits=k), n, config.seed, aggregate
-        )
-        wrapped = measure_protocol(
-            OverPointToPoint(GennaroBroadcast(n, t, security_bits=k), security_bits=k),
-            n,
-            config.seed,
-            aggregate,
-        )
+    emulation_tasks: list = [(n, t, k, config.seed) for n in emulation_sizes]
+    for (n, _, _, _), (inner, wrapped, local) in zip(
+        emulation_tasks, engine.map(_measure_emulation_task, emulation_tasks)
+    ):
+        aggregate.merge(local)
         blowup = wrapped["messages"] / max(1, inner["messages"])
         emulation[n] = {"inner": inner, "wrapped": wrapped, "message_blowup": blowup}
         emulation_rows.append(

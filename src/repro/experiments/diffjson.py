@@ -1,0 +1,101 @@
+"""Compare two ``--json`` artifact directories, ignoring wall-clock fields.
+
+The CI ``parallel-equivalence`` gate runs the experiment suite twice —
+``--jobs 1`` and ``--jobs 4`` — and feeds both artifact directories to::
+
+    python -m repro.experiments.diffjson artifacts-serial artifacts-par
+
+Every field of every result must match exactly except the wall-clock
+measurements (``metrics.wall_seconds``), which are the only
+non-deterministic values an experiment records.  Any other divergence —
+a missing artifact, a different table, a drifted counter — is a
+determinism regression in :mod:`repro.parallel` and fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+#: Result fields that legitimately differ between runs (wall-clock only).
+WALL_CLOCK_FIELDS = ("wall_seconds",)
+
+
+def strip_wall_clock(result: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep copy of a result dict with wall-clock metrics removed."""
+    stripped = json.loads(json.dumps(result))
+    metrics = stripped.get("metrics")
+    if isinstance(metrics, dict):
+        for field in WALL_CLOCK_FIELDS:
+            metrics.pop(field, None)
+    return stripped
+
+
+def _describe_diff(path: str, a: Any, b: Any, diffs: List[str]) -> None:
+    """Record the first point of divergence under ``path`` (recursively)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                diffs.append(f"{path}.{key}: only in second")
+            elif key not in b:
+                diffs.append(f"{path}.{key}: only in first")
+            elif a[key] != b[key]:
+                _describe_diff(f"{path}.{key}", a[key], b[key], diffs)
+        return
+    if isinstance(a, list) and isinstance(b, list) and len(a) != len(b):
+        diffs.append(f"{path}: list lengths {len(a)} != {len(b)}")
+        return
+    diffs.append(f"{path}: {a!r} != {b!r}")
+
+
+def compare_dirs(serial_dir: str, parallel_dir: str) -> List[str]:
+    """All divergences between two artifact directories (empty = identical)."""
+    diffs: List[str] = []
+    serial_files = sorted(f for f in os.listdir(serial_dir) if f.endswith(".json"))
+    parallel_files = sorted(f for f in os.listdir(parallel_dir) if f.endswith(".json"))
+    if serial_files != parallel_files:
+        only_serial = set(serial_files) - set(parallel_files)
+        only_parallel = set(parallel_files) - set(serial_files)
+        if only_serial:
+            diffs.append(f"artifacts only in {serial_dir}: {sorted(only_serial)}")
+        if only_parallel:
+            diffs.append(f"artifacts only in {parallel_dir}: {sorted(only_parallel)}")
+    for name in sorted(set(serial_files) & set(parallel_files)):
+        with open(os.path.join(serial_dir, name), encoding="utf-8") as handle:
+            first = strip_wall_clock(json.load(handle))
+        with open(os.path.join(parallel_dir, name), encoding="utf-8") as handle:
+            second = strip_wall_clock(json.load(handle))
+        if first != second:
+            _describe_diff(name, first, second, diffs)
+    return diffs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.diffjson",
+        description="Diff two experiment artifact directories, ignoring wall-clock.",
+    )
+    parser.add_argument("serial_dir", help="artifacts from the reference (serial) run")
+    parser.add_argument("parallel_dir", help="artifacts from the run under test")
+    args = parser.parse_args(argv)
+
+    for directory in (args.serial_dir, args.parallel_dir):
+        if not os.path.isdir(directory):
+            parser.error(f"not a directory: {directory}")
+
+    diffs = compare_dirs(args.serial_dir, args.parallel_dir)
+    if diffs:
+        print(f"DIVERGENCE: {len(diffs)} difference(s) beyond wall-clock:")
+        for diff in diffs:
+            print(f"  {diff}")
+        return 1
+    count = len([f for f in os.listdir(args.serial_dir) if f.endswith(".json")])
+    print(f"ok: {count} artifact(s) identical modulo wall-clock")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ protocol+adversary meeting the premise while violating the conclusion.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_figure1, render_table
 from ..core import HONEST, cr_report, g_report, sb_report
 from ..distributions import bernoulli_product, near_product_mixture, uniform
@@ -32,7 +34,8 @@ EXPERIMENT_ID = "E-FIG1"
 TITLE = "Figure 1 — implications and separations among Sb, CR, G"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     n = config.n
     samples = config.samples(400, floor=300)

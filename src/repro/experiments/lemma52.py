@@ -13,6 +13,8 @@ all*.  Every cell must come out VIOLATED.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import HONEST, cr_report
 from ..distributions.analytic import cr_achievability_floor
@@ -23,7 +25,8 @@ EXPERIMENT_ID = "E-L52"
 TITLE = "Lemma 5.2 — CR impossibility outside Psi_C"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     distributions = [all_equal(config.n), parity(config.n)]
     samples = config.samples(400, floor=300)

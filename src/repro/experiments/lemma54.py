@@ -13,6 +13,8 @@ uniform distribution must come out consistent.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import g_report
 from ..distributions.analytic import g_achievability_floor
@@ -29,7 +31,8 @@ EXPERIMENT_ID = "E-L54"
 TITLE = "Lemma 5.4 — G impossibility outside Psi_L"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     bad_distributions = [all_equal(config.n), near_product_mixture(config.n, delta=0.3)]
     control = uniform(config.n)

@@ -13,6 +13,8 @@ Two pieces of evidence, mirroring the lemma and its contrapositive proof:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import HONEST, cr_report, sb_report
 from ..distributions import bernoulli_product, near_product_mixture, uniform
@@ -29,7 +31,8 @@ EXPERIMENT_ID = "E-L61"
 TITLE = "Lemma 6.1 — Sb implies CR over D(CR)"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     n = config.n
     samples = config.samples(400, floor=300)

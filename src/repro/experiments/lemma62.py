@@ -18,6 +18,8 @@ predicted CR violation.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import cr_report, g_report, g_star_star_report
 from ..distributions import PSI_L, bernoulli_product, leaky_singleton, uniform
@@ -34,7 +36,8 @@ EXPERIMENT_ID = "E-L62"
 TITLE = "Lemma 6.2 — CR implies G over D(G)"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     n = config.n
     samples = config.samples(400, floor=300)

@@ -11,27 +11,104 @@ The paper's headline separation.  Under the A* adversary of Claim 6.6:
   stresses.
 
 Both Θ backends (trusted party and BGW) are exercised.
+
+This is the heaviest experiment in the registry (the BGW backend runs a
+full MPC evaluation per sample), so its sample loops are sharded: every
+(backend, distribution, estimator) cell owns a :class:`TrialPlan` whose
+trials each draw from their own salted RNG, worker processes return the
+raw :class:`AnnouncedSample` batches, and the estimators run on the
+folded draws (:func:`repro.core.g_report_from_samples` /
+:func:`repro.core.cr_report_from_samples`).  The sharded serial run and
+any parallel run produce bit-identical reports.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional, Tuple
+
+from ..core import cr_report_from_samples, g_report_from_samples
+from ..core.announced import AnnouncedSample, announce_once
 from ..analysis import render_table
-from ..core import cr_report, g_report
 from ..distributions import bernoulli_product, uniform
+from ..parallel import SERIAL_ENGINE, ExperimentEngine
 from ..protocols import PiGBroadcast
-from .common import ExperimentConfig, ExperimentResult, decision_mark, xor_factory
+from .common import (
+    ExperimentConfig,
+    ExperimentResult,
+    TrialPlan,
+    TrialShard,
+    decision_mark,
+    xor_factory,
+)
 
 EXPERIMENT_ID = "E-L64"
 TITLE = "Lemma 6.4 — Pi_G separates G from CR"
 
+SUPPORTS_ENGINE = True
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
-    n, t = config.n, config.t
+#: Base of the per-cell plan-salt namespace (cells are numbered within it).
+_PLAN_SALT_BASE = 0x6400
+
+
+def _representative(spec: Tuple, n: int):
+    kind = spec[0]
+    if kind == "uniform":
+        return uniform(n)
+    if kind == "bernoulli":
+        return bernoulli_product(list(spec[1]))
+    raise ValueError(f"unknown distribution spec {spec!r}")
+
+
+def _draw_shard(
+    config: ExperimentConfig,
+    n: int,
+    t: int,
+    backend: str,
+    dist_spec: Tuple,
+    shard: TrialShard,
+) -> List[AnnouncedSample]:
+    """Draw one shard's Announced samples; each trial uses its own salted RNG."""
+    protocol = PiGBroadcast(n, t, backend=backend)
+    attacker_factory = xor_factory(protocol)
+    distribution = _representative(dist_spec, n)
+    draws = []
+    for trial in shard.trials():
+        rng = shard.rng(config, trial)
+        inputs = distribution.sample(rng)
+        draws.append(announce_once(protocol, inputs, attacker_factory, rng))
+    return draws
+
+
+def _collect_draws(
+    config: ExperimentConfig,
+    engine: ExperimentEngine,
+    backend: str,
+    dist_spec: Tuple,
+    plan_salt: int,
+    samples: int,
+) -> List[AnnouncedSample]:
+    """Sample a full plan, sharded across the engine, folded in shard order."""
+    plan = TrialPlan(salt=plan_salt, total=samples, name=f"{backend}:{dist_spec[0]}")
+    tasks = [
+        (config, config.n, config.t, backend, dist_spec, shard)
+        for shard in plan.shards()
+    ]
+    batches = engine.map(_draw_shard, tasks)
+    return [draw for batch in batches for draw in batch]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
+    engine = SERIAL_ENGINE if engine is None else engine
+    n = config.n
     samples = config.samples(400, floor=300)
     g_samples = config.samples(2400, floor=600)
     representatives = [
-        uniform(n),
-        bernoulli_product([0.4, 0.6] + [0.5] * (n - 2)),
+        ("uniform",),
+        ("bernoulli", tuple([0.4, 0.6] + [0.5] * (n - 2))),
     ]
 
     rows = []
@@ -40,15 +117,26 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
     # The BGW backend is ~100x slower per run; it keeps the violation floor
     # (300 samples certify the 0.25-gap CR break) with a reduced G budget.
     backends = [("ideal", g_samples, samples), ("bgw", max(300, g_samples // 8), 300)]
+    cell = 0
     for backend, g_n, cr_n in backends:
-        protocol = PiGBroadcast(n, t, backend=backend)
-        attacker = xor_factory(protocol)
-        for distribution in representatives:
-            g = g_report(
-                protocol, distribution, attacker, g_n, config.rng(40),
-                min_condition_count=max(10, g_n // 40),
+        for dist_spec in representatives:
+            distribution = _representative(dist_spec, n)
+            g_draws = _collect_draws(
+                config, engine, backend, dist_spec, _PLAN_SALT_BASE + 2 * cell, g_n
             )
-            cr = cr_report(protocol, distribution, attacker, cr_n, config.rng(41))
+            cr_draws = _collect_draws(
+                config, engine, backend, dist_spec, _PLAN_SALT_BASE + 2 * cell + 1, cr_n
+            )
+            cell += 1
+            g = g_report_from_samples(
+                g_draws,
+                n,
+                min_condition_count=max(10, g_n // 40),
+                distribution_name=distribution.name,
+            )
+            cr = cr_report_from_samples(
+                cr_draws, n, distribution_name=distribution.name
+            )
             g_ok &= not g.violated
             cr_broken &= cr.violated
             rows.append(

@@ -13,6 +13,8 @@ only x_B can reproduce.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import render_table
 from ..core import HONEST, cr_report, sb_report
 from ..distributions import singleton
@@ -28,7 +30,8 @@ EXPERIMENT_ID = "E-P63"
 TITLE = "Proposition 6.3 — Singleton: trivial for CR, not for Sb"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     protocols = standard_protocols(config)
     n = config.n
     samples = config.samples(300)

@@ -1,12 +1,26 @@
-"""The experiment index: id -> runner, plus the run-everything driver."""
+"""The experiment index: id -> runner, plus the run-everything drivers.
+
+Parallelism happens at two levels, both routed through
+:mod:`repro.parallel` and both bit-identical to a serial run:
+
+* **experiment-level** — :func:`run_many` / :func:`run_all` dispatch whole
+  experiments to worker processes (each experiment is deterministic given
+  its config, and its cost metrics travel inside the returned result);
+* **trial-level** — the heavy runners (``SHARDED_IDS``: E-C56, E-L64,
+  E-C66, E-COST) opt in to intra-experiment sharding by accepting an
+  ``engine=`` keyword; :func:`run_experiment` hands them an
+  :class:`~repro.parallel.ExperimentEngine` sized by its ``jobs``
+  argument, and their trial batches fan out across the pool.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
 from ..obs import Metrics, runtime as _obs_runtime
+from ..parallel import ExperimentEngine, normalize_jobs
 from . import (
     ablation,
     appendix_b,
@@ -42,15 +56,24 @@ _MODULES = (
     appendix_b,
 )
 
-REGISTRY: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     module.EXPERIMENT_ID: module.run for module in _MODULES
 }
 
 TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODULES}
 
+#: Experiments whose runners accept ``engine=`` for intra-experiment sharding.
+SHARDED_IDS = frozenset(
+    module.EXPERIMENT_ID
+    for module in _MODULES
+    if getattr(module, "SUPPORTS_ENGINE", False)
+)
+
 
 def run_experiment(
-    experiment_id: str, config: ExperimentConfig = ExperimentConfig()
+    experiment_id: str,
+    config: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Run one experiment with cost accounting attached to its result.
 
@@ -59,7 +82,12 @@ def run_experiment(
     producing it (rounds, messages, bytes, crypto ops, wall-clock seconds)
     alongside the scientific payload.  Experiments that scope their own
     measurements (E-COST) keep whatever they already recorded.
+
+    ``jobs > 1`` shards the trial batches of the opt-in heavy experiments
+    (``SHARDED_IDS``) across worker processes; the result — including its
+    metrics counters and histograms — is identical at every worker count.
     """
+    config = ExperimentConfig() if config is None else config
     try:
         runner = REGISTRY[experiment_id]
     except KeyError:
@@ -68,7 +96,10 @@ def run_experiment(
         ) from None
     start = time.perf_counter()
     with _obs_runtime.observed(metrics=Metrics()) as (_, metrics):
-        result = runner(config)
+        if experiment_id in SHARDED_IDS:
+            result = runner(config, engine=ExperimentEngine(jobs))
+        else:
+            result = runner(config)
     elapsed = time.perf_counter() - start
     snapshot = metrics.snapshot()
     result.metrics.setdefault("wall_seconds", elapsed)
@@ -77,5 +108,48 @@ def run_experiment(
     return result
 
 
-def run_all(config: ExperimentConfig = ExperimentConfig()) -> List[ExperimentResult]:
-    return [run_experiment(experiment_id, config) for experiment_id in REGISTRY]
+def _run_one(experiment_id: str, config: ExperimentConfig) -> ExperimentResult:
+    """Experiment-level shard task: one whole experiment, internally serial."""
+    return run_experiment(experiment_id, config)
+
+
+def run_many(
+    experiment_ids: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
+) -> List[ExperimentResult]:
+    """Run the named experiments, in order, with ``jobs`` worker processes.
+
+    Scheduling: experiments without trial-level sharding fan out whole
+    (one pool task per experiment), then the sharded heavy experiments run
+    one at a time with the full pool working their trial batches — the
+    heavy runners dominate wall-clock, so this keeps every worker busy
+    where it matters.  Results are returned in the requested order and are
+    identical to a ``jobs=1`` run.
+    """
+    config = ExperimentConfig() if config is None else config
+    jobs = normalize_jobs(jobs)
+    unknown = [e for e in experiment_ids if e not in REGISTRY]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment(s) {unknown!r}; known: {sorted(REGISTRY)}"
+        )
+    if jobs == 1:
+        return [run_experiment(experiment_id, config) for experiment_id in experiment_ids]
+
+    engine = ExperimentEngine(jobs)
+    light = [e for e in experiment_ids if e not in SHARDED_IDS]
+    heavy = [e for e in experiment_ids if e in SHARDED_IDS]
+    results = dict(
+        zip(light, engine.map(_run_one, [(experiment_id, config) for experiment_id in light]))
+    )
+    for experiment_id in heavy:
+        results[experiment_id] = run_experiment(experiment_id, config, jobs=jobs)
+    return [results[experiment_id] for experiment_id in experiment_ids]
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None, parallel: int = 1
+) -> List[ExperimentResult]:
+    """Run every registered experiment; ``parallel=N`` shards across N workers."""
+    return run_many(list(REGISTRY), config, jobs=parallel)

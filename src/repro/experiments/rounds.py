@@ -9,6 +9,8 @@ ablation showing where CGMA's linearity comes from.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis import render_table
@@ -27,7 +29,8 @@ TITLE = "Round complexity: linear [7] vs logarithmic [8] vs constant [12]"
 DEFAULT_SIZES = (4, 6, 8, 12, 16)
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     sizes = [n for n in DEFAULT_SIZES if config.scale >= 1.0 or n <= 8]
     k = min(config.security_bits, 16)  # round counts don't depend on k
 

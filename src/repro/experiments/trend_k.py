@@ -17,6 +17,8 @@ and applies the trend rule of :mod:`repro.analysis.trend`:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..adversaries import CommitEchoAdversary
 from ..analysis import Decision, assess_trend, render_table
 from ..core import HONEST, cr_report, g_star_star_report
@@ -28,7 +30,8 @@ EXPERIMENT_ID = "E-TRD"
 TITLE = "Negligibility trends across the security parameter k"
 
 
-def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = ExperimentConfig() if config is None else config
     n, t = config.n, config.t
     levels = config.security_levels
     cr_samples = config.samples(400, floor=300)

@@ -106,6 +106,28 @@ class Tracer:
             }
         )
 
+    def fold(self, records: List[Dict[str, Any]]) -> None:
+        """Graft records captured by *another* tracer under the current path.
+
+        This is the cross-process reduction step used by
+        :mod:`repro.parallel`: worker processes trace into their own
+        :class:`Tracer`, ship ``records`` back (they are plain dicts, so they
+        pickle), and the coordinator folds them in shard order.  Paths and
+        depths are re-rooted at the coordinator's current span; timestamps
+        keep the worker tracer's epoch (they remain comparable *within* a
+        shard, which is what span durations need).
+        """
+        base_path = "/".join(self._stack)
+        base_depth = len(self._stack)
+        for record in records:
+            folded = dict(record)
+            if base_path:
+                child_path = record.get("path", "")
+                folded["path"] = f"{base_path}/{child_path}" if child_path else base_path
+            if "depth" in folded:
+                folded["depth"] = record["depth"] + base_depth
+            self.records.append(folded)
+
     # -- reading / export --------------------------------------------------------
 
     @property
@@ -180,6 +202,9 @@ class NoopTracer:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def fold(self, records: list) -> None:
         return None
 
     def spans(self, name: Optional[str] = None) -> list:

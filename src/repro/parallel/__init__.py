@@ -1,0 +1,28 @@
+"""Deterministic parallel execution for the experiment harness.
+
+The reproduction's experiments are embarrassingly parallel Monte-Carlo
+loops.  This package shards them — whole experiments, and within the
+heavy experiments independent trial batches — across CPU workers while
+keeping one hard guarantee: **a parallel run is bit-identical to a serial
+run at any worker count**.  Determinism comes from per-trial RNG salts
+(:class:`repro.experiments.common.TrialPlan`), not from execution order;
+cost accounting survives the process boundary because each worker's
+:class:`repro.obs.Metrics` registry (and trace records) fold back into
+the coordinator's in task order.
+
+Entry points:
+
+* ``python -m repro.experiments --jobs N`` — the CLI;
+* :func:`repro.experiments.registry.run_all` with ``parallel=N``;
+* :class:`ExperimentEngine` — the reusable process-pool mapper.
+"""
+
+from .engine import SERIAL_ENGINE, ExperimentEngine, ShardOutcome, default_jobs, normalize_jobs
+
+__all__ = [
+    "ExperimentEngine",
+    "SERIAL_ENGINE",
+    "ShardOutcome",
+    "default_jobs",
+    "normalize_jobs",
+]

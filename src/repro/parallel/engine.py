@@ -1,0 +1,109 @@
+"""The process-pool experiment engine.
+
+:class:`ExperimentEngine` maps task functions over argument tuples, either
+inline (``jobs == 1``) or across a pool of worker processes.  Two design
+rules make a parallel run *bit-identical* to a serial one:
+
+* **determinism lives in the task list, not the executor** — callers
+  derive every trial's randomness from its own salt
+  (:class:`repro.experiments.common.TrialPlan`), so the partition of work
+  across workers cannot influence any drawn sample;
+* **observability folds in submission order** — each worker executes its
+  task under a fresh :class:`repro.obs.Metrics` registry (and, when the
+  coordinator is tracing, a fresh :class:`repro.obs.Tracer`), ships the
+  captured registry back with the payload, and the coordinator merges the
+  registries into the ambient one in task order.  Counter sums, histogram
+  merges, and span folds are order-insensitive in aggregate, so the
+  coordinator's registry ends up equal to what an inline run records.
+
+The worker entry point (:func:`_run_shard`) is a module-level function so
+it pickles under every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..obs import Metrics, Tracer
+from ..obs import runtime as _obs_runtime
+
+
+def default_jobs() -> int:
+    """The default worker count: one per CPU the process may use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without CPU affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+def normalize_jobs(jobs: Any) -> int:
+    """Coerce a ``--jobs`` value to a positive worker count (None = all CPUs)."""
+    if jobs is None:
+        return default_jobs()
+    count = int(jobs)
+    return count if count >= 1 else 1
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker ships back: the payload plus its captured observations."""
+
+    payload: Any
+    metrics: Metrics = field(default_factory=Metrics)
+    trace_records: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _run_shard(task: Tuple[Callable[..., Any], Tuple[Any, ...], bool]) -> ShardOutcome:
+    """Worker entry point: run one task under a fresh observation scope."""
+    fn, args, trace = task
+    tracer = Tracer() if trace else None
+    with _obs_runtime.observed(tracer=tracer, metrics=Metrics()) as (_, metrics):
+        payload = fn(*args)
+    records = list(tracer.records) if tracer is not None else []
+    return ShardOutcome(payload=payload, metrics=metrics, trace_records=records)
+
+
+class ExperimentEngine:
+    """Maps task functions over argument tuples, inline or across processes."""
+
+    def __init__(self, jobs: Any = None):
+        self.jobs = normalize_jobs(jobs)
+
+    def map(
+        self, fn: Callable[..., Any], arglists: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for each tuple, returning payloads in task order.
+
+        With ``jobs == 1`` (or a single task) everything runs inline in the
+        caller's observation scope — no pool, no pickling, no overhead.
+        Otherwise tasks fan out over a :class:`ProcessPoolExecutor` and the
+        workers' captured metrics / trace records fold into the caller's
+        ambient registry in task order before the payloads are returned.
+        """
+        tasks = list(arglists)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(*args) for args in tasks]
+
+        trace = _obs_runtime.tracer.enabled
+        shard_tasks = [(fn, tuple(args), trace) for args in tasks]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
+            outcomes = list(pool.map(_run_shard, shard_tasks))
+
+        ambient = _obs_runtime.metrics
+        for outcome in outcomes:
+            if ambient is not None:
+                ambient.merge(outcome.metrics)
+            if trace and outcome.trace_records:
+                _obs_runtime.tracer.fold(outcome.trace_records)
+        return [outcome.payload for outcome in outcomes]
+
+    def __repr__(self) -> str:
+        return f"ExperimentEngine(jobs={self.jobs})"
+
+
+#: The shared inline engine: the serial execution path of every shardable
+#: experiment, and the default when no engine is passed.
+SERIAL_ENGINE = ExperimentEngine(jobs=1)
