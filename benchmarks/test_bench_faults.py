@@ -1,0 +1,76 @@
+"""Benchmark the fault-injection overhead: empty plan vs no injector.
+
+The scheduler calls :meth:`FaultInjector.apply` once per round; with an
+empty :class:`FaultPlan` the call must be a near-free identity (one
+attribute check plus a list copy).  This benchmark runs the same
+protocol workload with no injector and with an empty plan, interleaving
+min-of-repeats measurements, asserts the overhead stays within the 5%
+budget, and records the measurement as ``results/BENCH_faults.json``.
+A non-trivial plan is measured too (reported, not gated) so the artifact
+shows the real cost of active injection.
+"""
+
+import json
+import os
+import time
+
+from repro.faults import FaultPlan, get_plan
+from repro.protocols import NaiveCommitReveal
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "results", "BENCH_faults.json")
+
+RUNS_PER_SAMPLE = 250
+REPEATS = 9
+OVERHEAD_BUDGET = 1.05
+
+
+def _workload(fault_plan):
+    protocol = NaiveCommitReveal(6, 2)
+    inputs = [1, 0, 1, 0, 1, 0]
+    for seed in range(RUNS_PER_SAMPLE):
+        protocol.run(inputs, seed=seed, fault_plan=fault_plan, fault_seed=seed)
+
+
+def _measure(fault_plan):
+    start = time.perf_counter()
+    _workload(fault_plan)
+    return time.perf_counter() - start
+
+
+def test_bench_empty_plan_overhead(benchmark):
+    empty = FaultPlan(name="baseline")
+    active = get_plan("mixed")
+    baseline_times, empty_times, active_times = [], [], []
+    # Interleave the legs so drift (thermal, GC) hits all three equally;
+    # min-of-repeats discards scheduling noise.
+    for _ in range(REPEATS):
+        baseline_times.append(_measure(None))
+        empty_times.append(_measure(empty))
+        active_times.append(_measure(active))
+    baseline, empty_best, active_best = (
+        min(baseline_times),
+        min(empty_times),
+        min(active_times),
+    )
+    overhead = empty_best / baseline
+
+    artifact = {
+        "workload": f"NaiveCommitReveal(6, 2) x {RUNS_PER_SAMPLE} runs",
+        "repeats": REPEATS,
+        "seconds": {
+            "no_injector": round(baseline, 5),
+            "empty_plan": round(empty_best, 5),
+            "mixed_plan": round(active_best, 5),
+        },
+        "empty_plan_overhead_ratio": round(overhead, 4),
+        "budget_ratio": OVERHEAD_BUDGET,
+    }
+    os.makedirs(os.path.dirname(ARTIFACT), exist_ok=True)
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Report the empty-plan leg through pytest-benchmark for trend tracking.
+    benchmark.pedantic(_workload, args=(empty,), rounds=1, iterations=1)
+
+    assert overhead <= OVERHEAD_BUDGET, artifact

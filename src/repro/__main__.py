@@ -1,0 +1,46 @@
+"""Top-level CLI dispatcher: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``experiments run [IDS ...] [options]`` — the experiments driver
+  (:mod:`repro.experiments.__main__`); ``run`` is optional sugar, and
+  ``experiments list`` is shorthand for ``--list``.
+
+Installed as the ``repro`` console script, so
+``repro experiments run E-FAULT --faults plan.json --jobs 4``
+works wherever the package does.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+_USAGE = """usage: python -m repro <command> ...
+
+commands:
+  experiments [run|list] ...   run the paper's experiments (see
+                               `python -m repro experiments --help`)
+"""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        if rest and rest[0] == "run":
+            rest = rest[1:]
+        elif rest and rest[0] == "list":
+            rest = ["--list"] + rest[1:]
+        return experiments_main(rest)
+    print(f"unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

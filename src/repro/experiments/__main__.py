@@ -7,7 +7,13 @@
   the measured cost metrics) as ``DIR/<EXPERIMENT_ID>.json``;
 * ``--jobs N`` — shard the run across N worker processes (default: all
   CPUs; results are bit-identical at every worker count, so ``--jobs`` is
-  purely a wall-clock knob — see :mod:`repro.parallel`).
+  purely a wall-clock knob — see :mod:`repro.parallel`);
+* ``--faults PLAN.json`` — load a :class:`repro.faults.FaultPlan` and
+  sweep it through E-FAULT alongside the standard plan library (the
+  custom plan is measured but never fails the run).
+
+``python -m repro experiments run ...`` reaches the same driver through
+the :mod:`repro.__main__` dispatcher.
 """
 
 from __future__ import annotations
@@ -53,6 +59,13 @@ def main(argv=None) -> int:
         help="worker processes (default: CPU count; 1 = serial; "
         "results are identical at any value)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="a fault-plan JSON file (see repro.faults.FaultPlan) swept by"
+        " E-FAULT alongside the standard plan library; measured, never gated",
+    )
     parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
     parser.add_argument("--n", type=int, default=5, help="number of parties")
     parser.add_argument("--t", type=int, default=2, help="corruption bound")
@@ -82,7 +95,22 @@ def main(argv=None) -> int:
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
 
-    config = ExperimentConfig(n=args.n, t=args.t, seed=args.seed, scale=args.scale)
+    fault_plan = None
+    if args.faults is not None:
+        from ..faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"--faults {args.faults!r} is not a readable plan: {exc}")
+
+    config = ExperimentConfig(
+        n=args.n,
+        t=args.t,
+        seed=args.seed,
+        scale=args.scale,
+        fault_plan=fault_plan,
+    )
     experiment_ids = args.experiments or list(REGISTRY)
     results = run_many(experiment_ids, config, jobs=jobs)
 

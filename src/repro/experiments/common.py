@@ -43,6 +43,9 @@ class ExperimentConfig:
     security_levels: tuple = (16, 24, 32)
     seed: int = 20050717  # PODC'05 started July 17, 2005.
     scale: float = 1.0
+    fault_plan: Any = None
+    """An extra :class:`repro.faults.FaultPlan` (from ``--faults PLAN.json``)
+    swept by E-FAULT alongside the standard library — measured, never gated."""
 
     def rng(self, salt: int = 0) -> random.Random:
         return random.Random(self.seed * 1_000_003 + salt)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 from typing import Any, Dict, List
@@ -34,6 +35,22 @@ def strip_wall_clock(result: Dict[str, Any]) -> Dict[str, Any]:
     return stripped
 
 
+def _equal(a: Any, b: Any) -> bool:
+    """Deep equality treating NaN as equal to itself.
+
+    Inconclusive estimators record ``NaN`` gap estimates, which survive
+    the JSON round-trip; under plain ``!=`` every NaN would read as a
+    determinism divergence even between bit-identical artifacts.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_equal(a[key], b[key]) for key in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
 def _describe_diff(path: str, a: Any, b: Any, diffs: List[str]) -> None:
     """Record the first point of divergence under ``path`` (recursively)."""
     if isinstance(a, dict) and isinstance(b, dict):
@@ -42,11 +59,16 @@ def _describe_diff(path: str, a: Any, b: Any, diffs: List[str]) -> None:
                 diffs.append(f"{path}.{key}: only in second")
             elif key not in b:
                 diffs.append(f"{path}.{key}: only in first")
-            elif a[key] != b[key]:
+            elif not _equal(a[key], b[key]):
                 _describe_diff(f"{path}.{key}", a[key], b[key], diffs)
         return
-    if isinstance(a, list) and isinstance(b, list) and len(a) != len(b):
-        diffs.append(f"{path}: list lengths {len(a)} != {len(b)}")
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            diffs.append(f"{path}: list lengths {len(a)} != {len(b)}")
+            return
+        for index, (x, y) in enumerate(zip(a, b)):
+            if not _equal(x, y):
+                _describe_diff(f"{path}[{index}]", x, y, diffs)
         return
     diffs.append(f"{path}: {a!r} != {b!r}")
 
@@ -68,7 +90,7 @@ def compare_dirs(serial_dir: str, parallel_dir: str) -> List[str]:
             first = strip_wall_clock(json.load(handle))
         with open(os.path.join(parallel_dir, name), encoding="utf-8") as handle:
             second = strip_wall_clock(json.load(handle))
-        if first != second:
+        if not _equal(first, second):
             _describe_diff(name, first, second, diffs)
     return diffs
 

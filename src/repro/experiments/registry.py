@@ -7,7 +7,7 @@ Parallelism happens at two levels, both routed through
   experiments to worker processes (each experiment is deterministic given
   its config, and its cost metrics travel inside the returned result);
 * **trial-level** — the heavy runners (``SHARDED_IDS``: E-C56, E-L64,
-  E-C66, E-COST) opt in to intra-experiment sharding by accepting an
+  E-C66, E-COST, E-FAULT) opt in to intra-experiment sharding by accepting an
   ``engine=`` keyword; :func:`run_experiment` hands them an
   :class:`~repro.parallel.ExperimentEngine` sized by its ``jobs``
   argument, and their trial batches fan out across the pool.
@@ -27,6 +27,7 @@ from . import (
     claim56,
     claim66,
     cost,
+    faults,
     figure1,
     lemma52,
     lemma54,
@@ -54,6 +55,7 @@ _MODULES = (
     trend_k,
     ablation,
     appendix_b,
+    faults,
 )
 
 REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {

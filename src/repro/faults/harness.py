@@ -1,0 +1,92 @@
+"""Convenience harnesses: a fault-wired scheduler and a protocol proxy.
+
+:class:`FaultyScheduler` is :class:`repro.net.scheduler.Scheduler` with a
+:class:`~repro.faults.injector.FaultInjector` pre-wired — for callers that
+drive the scheduler directly.  Most code should instead go through
+:func:`repro.net.network.run_protocol` (``fault_plan=`` /
+``fault_seed=``) or wrap a protocol with :func:`with_faults`, which
+returns a proxy whose ``run`` / ``announced`` bind the plan; the proxy
+satisfies the protocol API, so every estimator and sampler in
+:mod:`repro.core` measures the faulted protocol unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..net.scheduler import Scheduler
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+
+class FaultyScheduler(Scheduler):
+    """A scheduler executing one protocol run under a fault plan."""
+
+    def __init__(self, *args, plan: FaultPlan, fault_salt: int = 0, **kwargs):
+        kwargs.setdefault("fault_injector", FaultInjector(plan, salt=fault_salt))
+        super().__init__(*args, **kwargs)
+
+
+class FaultedProtocol:
+    """A protocol proxy that binds a fault plan into every run.
+
+    Delegates every attribute (``n``, ``t``, ``name``, ``setup``,
+    ``program``, ...) to the wrapped protocol and overrides the
+    ``run`` / ``announced`` conveniences to thread the plan (and an
+    optional graceful-degradation ``timeout_rounds``) through
+    :func:`repro.net.network.run_protocol`.
+    """
+
+    def __init__(
+        self,
+        protocol: Any,
+        plan: FaultPlan,
+        timeout_rounds: Optional[int] = None,
+        fault_seed: Optional[int] = None,
+    ):
+        self.protocol = protocol
+        self.plan = plan
+        self.timeout_rounds = timeout_rounds
+        # A pinned salt keeps the run RNG stream untouched (no salt draw),
+        # so a faulted run is coin-for-coin comparable to a clean one.
+        self.fault_seed = fault_seed
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.protocol, name)
+
+    def run(self, inputs, adversary=None, rng=None, seed=None, fault_seed=None):
+        return self.protocol.run(
+            inputs,
+            adversary=adversary,
+            rng=rng,
+            seed=seed,
+            fault_plan=self.plan,
+            fault_seed=self.fault_seed if fault_seed is None else fault_seed,
+            timeout_rounds=self.timeout_rounds,
+        )
+
+    def announced(self, inputs, adversary=None, rng=None, seed=None, fault_seed=None):
+        return self.protocol.announced(
+            inputs,
+            adversary=adversary,
+            rng=rng,
+            seed=seed,
+            fault_plan=self.plan,
+            fault_seed=self.fault_seed if fault_seed is None else fault_seed,
+            timeout_rounds=self.timeout_rounds,
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultedProtocol({self.protocol!r}, plan={self.plan.name or 'anonymous'!r})"
+
+
+def with_faults(
+    protocol: Any,
+    plan: FaultPlan,
+    timeout_rounds: Optional[int] = None,
+    fault_seed: Optional[int] = None,
+) -> FaultedProtocol:
+    """Bind ``plan`` to ``protocol`` for every subsequent run."""
+    return FaultedProtocol(
+        protocol, plan, timeout_rounds=timeout_rounds, fault_seed=fault_seed
+    )

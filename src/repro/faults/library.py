@@ -1,0 +1,86 @@
+"""The standard fault-plan library used by E-FAULT and the conformance suite.
+
+Each plan is deliberately *channel-consistent*: broadcast faults are
+all-or-nothing (see :mod:`repro.faults.plan`), so plans here degrade the
+network without silently violating the paper's broadcast-channel model.
+Party indices assume the experiments' default ``n = 5``; plans remain
+valid at any ``n >= 3``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .plan import CrashFault, FaultPlan, FaultRule
+
+#: Empty plan: exercises the injection machinery with zero faults (the
+#: benchmark baseline for the <= 5% overhead budget).
+BASELINE = FaultPlan(name="baseline")
+
+#: One mid-protocol send-omission crash with recovery.
+CRASH_ONE = FaultPlan(
+    name="crash-1",
+    crashes=(CrashFault(party=2, at_round=2, recover_at=4),),
+)
+
+#: Light random message loss (10% of all traffic, seeded).
+DROP_LIGHT = FaultPlan(
+    name="drop-light",
+    seed=0xD201,
+    rules=(FaultRule(kind="drop", probability=0.1),),
+)
+
+#: Light random one-round delays (10% of all traffic, seeded).
+DELAY_LIGHT = FaultPlan(
+    name="delay-light",
+    seed=0xDE11,
+    rules=(FaultRule(kind="delay", delay=1, probability=0.1),),
+)
+
+#: Light random payload corruption (10% of all traffic, seeded).
+CORRUPT_LIGHT = FaultPlan(
+    name="corrupt-light",
+    seed=0xC021,
+    rules=(FaultRule(kind="corrupt", mode="garbage", probability=0.1),),
+)
+
+#: Duplicate storms: 20% of messages delivered twice.
+DUPLICATE_LIGHT = FaultPlan(
+    name="duplicate-light",
+    seed=0xD0B1,
+    rules=(FaultRule(kind="duplicate", copies=1, probability=0.2),),
+)
+
+#: Everything at once: a crash plus low-rate drop and delay noise.
+MIXED = FaultPlan(
+    name="mixed",
+    seed=0x3D1,
+    crashes=(CrashFault(party=3, at_round=2, recover_at=3),),
+    rules=(
+        FaultRule(kind="drop", probability=0.05),
+        FaultRule(kind="delay", delay=1, probability=0.05),
+    ),
+)
+
+STANDARD_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        BASELINE,
+        CRASH_ONE,
+        DROP_LIGHT,
+        DELAY_LIGHT,
+        CORRUPT_LIGHT,
+        DUPLICATE_LIGHT,
+        MIXED,
+    )
+}
+
+
+def get_plan(name: str) -> FaultPlan:
+    """Look up a standard plan by name."""
+    try:
+        return STANDARD_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; known: {sorted(STANDARD_PLANS)}"
+        ) from None

@@ -32,7 +32,10 @@ class Adversary:
         self.auxiliary = auxiliary
         self.n: int = 0
         self.config: Any = None
-        self.rng: random.Random = random.Random(0)
+        # None until setup(): the scheduler derives the adversary's RNG from
+        # the execution seed, so pinning a default here would silently
+        # decouple pre-setup draws from the run's reproducibility story.
+        self.rng: Optional[random.Random] = None
         self.corrupted_inputs: Dict[int, Any] = {}
         self._observed: List[Message] = []
 

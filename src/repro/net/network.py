@@ -25,6 +25,10 @@ def run_protocol(
     seed: Optional[int] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     session: str = "",
+    fault_plan: Any = None,
+    fault_seed: Optional[int] = None,
+    timeout_rounds: Optional[int] = None,
+    timeout_output: Any = None,
 ) -> Execution:
     """Run ``protocol`` once and return the full :class:`Execution`.
 
@@ -45,6 +49,18 @@ def run_protocol(
             so every run artifact is reproducible from its transcript alone.
         max_rounds: abort guard.
         session: session identifier mixed into signatures and proofs.
+        fault_plan: an optional :class:`repro.faults.FaultPlan`; when given,
+            a seeded :class:`repro.faults.FaultInjector` rewrites each
+            round's honest traffic before the rushing adversary sees it.
+        fault_seed: explicit salt for the injector's RNG stream.  Defaults
+            to a draw from the execution RNG, so distinct runs inject
+            distinct (but replayable) fault patterns; sharded sweeps pass
+            per-trial salts to stay partition-independent.
+        timeout_rounds: graceful deadline — parties still running after
+            this many rounds are finalized with ``timeout_output`` instead
+            of aborting the run with :class:`NetworkError`.
+        timeout_output: the degraded output (a value, or a callable of the
+            party id); protocols pass the paper's default bit vector.
     """
     effective_seed: Optional[int] = seed
     defaulted = False
@@ -70,6 +86,13 @@ def run_protocol(
         )
     if adversary is None:
         adversary = Adversary(corrupted=())
+    injector = None
+    if fault_plan is not None:
+        # Imported lazily: repro.faults depends on repro.net, not vice versa.
+        from ..faults.injector import FaultInjector
+
+        salt = fault_seed if fault_seed is not None else rng.getrandbits(64)
+        injector = FaultInjector(fault_plan, salt=salt)
     config = protocol.setup(rng)
     scheduler = Scheduler(
         n=protocol.n,
@@ -81,5 +104,8 @@ def run_protocol(
         session=session or type(protocol).__name__,
         max_rounds=max_rounds,
         seed=effective_seed,
+        fault_injector=injector,
+        timeout_rounds=timeout_rounds,
+        timeout_output=timeout_output,
     )
     return scheduler.run()

@@ -12,12 +12,24 @@ Round semantics (Section 3.1 of the paper):
 
 The run ends when every honest party's program has returned, or aborts
 with :class:`NetworkError` after ``max_rounds``.
+
+Two optional degradation hooks extend the clean model:
+
+* ``fault_injector`` (see :mod:`repro.faults`) rewrites each round's
+  honest traffic — dropping, delaying, duplicating, or corrupting
+  messages and suppressing crashed senders — *before* the rushing
+  adversary observes it, so faults degrade the adversary's view exactly
+  as they degrade honest deliveries;
+* ``timeout_rounds`` bounds the run gracefully: instead of raising
+  :class:`NetworkError`, parties still running past the deadline are
+  finalized with ``timeout_output`` (protocols pass the paper's default
+  bit vector), and the execution is marked ``timed_out``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import NetworkError, ProtocolError
 from ..obs import runtime as _obs
@@ -46,6 +58,9 @@ class Scheduler:
         session: str = "",
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         seed: Any = None,
+        fault_injector: Any = None,
+        timeout_rounds: Optional[int] = None,
+        timeout_output: Any = None,
     ):
         if len(inputs) != n:
             raise ProtocolError(f"expected {n} inputs, got {len(inputs)}")
@@ -63,6 +78,9 @@ class Scheduler:
         self.session = session
         self.max_rounds = max_rounds
         self.seed = seed
+        self.fault_injector = fault_injector
+        self.timeout_rounds = timeout_rounds
+        self.timeout_output = timeout_output
         self._program_factory = program_factory
 
         self.honest_ids = [i for i in range(1, n + 1) if i not in adversary.corrupted]
@@ -125,8 +143,22 @@ class Scheduler:
 
         round_number = 0
         started = False
+        timed_out = False
         while True:
             round_number += 1
+            if self.timeout_rounds is not None and round_number > self.timeout_rounds:
+                timed_out = True
+                if metrics is not None:
+                    metrics.inc("net.timeouts")
+                if tracer.enabled:
+                    tracer.event(
+                        "scheduler.timeout",
+                        round=round_number,
+                        unfinished=[
+                            i for i, s in self._honest.items() if not s.finished
+                        ],
+                    )
+                break
             if round_number > self.max_rounds:
                 raise NetworkError(
                     f"protocol did not terminate within {self.max_rounds} rounds"
@@ -143,6 +175,14 @@ class Scheduler:
                 else:
                     drafts = state.resume(Inbox(pending[i]))
                 honest_traffic.extend(draft.stamped(i) for draft in drafts)
+
+            # 1b. Faults strike honest traffic before the adversary sees it:
+            #     crashes and drops remove messages, delays shift them to a
+            #     later round, corruption rewrites payloads in place.
+            if self.fault_injector is not None:
+                honest_traffic = self.fault_injector.apply(
+                    round_number, honest_traffic
+                )
 
             # 2. Rushing: corrupted parties instantly receive this round's
             #    honest traffic addressed to them (and honest broadcasts).
@@ -231,7 +271,23 @@ class Scheduler:
             if all(state.finished for state in self._honest.values()):
                 break
 
-        outputs = {i: state.output for i, state in self._honest.items()}
+        outputs = {}
+        for i, state in self._honest.items():
+            if state.finished or not timed_out:
+                outputs[i] = state.output
+            elif callable(self.timeout_output):
+                outputs[i] = self.timeout_output(i)
+            else:
+                outputs[i] = self.timeout_output
+        faults = (
+            list(self.fault_injector.records)
+            if self.fault_injector is not None
+            else []
+        )
+        if self.fault_injector is not None and metrics is not None:
+            undelivered = self.fault_injector.undelivered
+            if undelivered:
+                metrics.inc("faults.delayed.undelivered", undelivered)
         return Execution(
             n=self.n,
             corrupted=frozenset(self.adversary.corrupted),
@@ -241,4 +297,6 @@ class Scheduler:
             rounds=rounds,
             config=self.config,
             seed=self.seed,
+            faults=faults,
+            timed_out=timed_out,
         )

@@ -35,6 +35,20 @@ class Execution:
     supplied an externally seeded ``random.Random`` whose seed the
     framework cannot recover.
     """
+    faults: List[Any] = field(default_factory=list)
+    """Every fault injected during the run, in injection order.
+
+    A list of :class:`repro.faults.injector.FaultRecord`; empty when the
+    run had no fault injector.  Together with ``seed`` and the fault
+    plan's own seed this makes faulty runs replayable: the same
+    (protocol, seed, plan, fault salt) tuple reproduces the same records.
+    """
+    timed_out: bool = False
+    """True when the run hit the graceful ``timeout_rounds`` deadline.
+
+    Parties still running at the deadline were finalized with the
+    protocol's default output instead of raising :class:`NetworkError`.
+    """
 
     @property
     def honest(self) -> List[int]:

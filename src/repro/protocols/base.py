@@ -71,8 +71,26 @@ class ParallelBroadcastProtocol:
         adversary: Optional[Adversary] = None,
         rng: Optional[random.Random] = None,
         seed: Optional[int] = None,
+        fault_plan: Any = None,
+        fault_seed: Optional[int] = None,
+        timeout_rounds: Optional[int] = None,
     ) -> Execution:
-        return run_protocol(self, list(inputs), adversary=adversary, rng=rng, seed=seed)
+        """Run once; under ``timeout_rounds`` parties that miss the deadline
+        announce the paper's default bit vector instead of aborting."""
+        timeout_output = (
+            tuple([DEFAULT_BIT] * self.n) if timeout_rounds is not None else None
+        )
+        return run_protocol(
+            self,
+            list(inputs),
+            adversary=adversary,
+            rng=rng,
+            seed=seed,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+            timeout_rounds=timeout_rounds,
+            timeout_output=timeout_output,
+        )
 
     def announced(
         self,
@@ -80,9 +98,20 @@ class ParallelBroadcastProtocol:
         adversary: Optional[Adversary] = None,
         rng: Optional[random.Random] = None,
         seed: Optional[int] = None,
+        fault_plan: Any = None,
+        fault_seed: Optional[int] = None,
+        timeout_rounds: Optional[int] = None,
     ) -> Tuple[int, ...]:
         """Announced^Π_A(x): run once and extract the announced vector."""
-        execution = self.run(inputs, adversary=adversary, rng=rng, seed=seed)
+        execution = self.run(
+            inputs,
+            adversary=adversary,
+            rng=rng,
+            seed=seed,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+            timeout_rounds=timeout_rounds,
+        )
         return tuple(
             coerce_bit(w) for w in execution.announced_vector(default=DEFAULT_BIT)
         )

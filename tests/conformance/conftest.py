@@ -1,0 +1,62 @@
+"""Shared fixtures for the fault-conformance suite.
+
+Tests log one row per certified (protocol, plan) cell through the
+``conformance_log`` fixture; at the end of the session the rows are
+aggregated into ``results/CONFORMANCE_faults.json`` — the fault-sweep
+summary artifact the CI ``conformance`` job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "results"
+SUMMARY_PATH = RESULTS_DIR / "CONFORMANCE_faults.json"
+
+
+@pytest.fixture(scope="session")
+def _conformance_rows():
+    return []
+
+
+@pytest.fixture
+def conformance_log(_conformance_rows):
+    """Record one certified cell: ``log(protocol=..., plan=..., check=..., ok=...)``."""
+
+    def log(**row):
+        _conformance_rows.append(dict(row))
+
+    return log
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_summary(_conformance_rows):
+    yield
+    if not _conformance_rows:
+        return
+    protocols = sorted({row["protocol"] for row in _conformance_rows})
+    plans = sorted({row["plan"] for row in _conformance_rows})
+    by_protocol = {
+        protocol: {
+            "cells": sum(1 for r in _conformance_rows if r["protocol"] == protocol),
+            "ok": all(
+                r.get("ok", True) for r in _conformance_rows if r["protocol"] == protocol
+            ),
+        }
+        for protocol in protocols
+    }
+    summary = {
+        "protocols": protocols,
+        "plans": plans,
+        "cells": len(_conformance_rows),
+        "all_ok": all(row.get("ok", True) for row in _conformance_rows),
+        "by_protocol": by_protocol,
+        "rows": _conformance_rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(SUMMARY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,186 @@
+"""Crash-fault conformance for the single-sender broadcast implementations.
+
+Crash faults (send omission) are strictly weaker than the Byzantine
+corruption each protocol tolerates, so as long as crashed + corrupted
+parties stay within the bound t:
+
+* **agreement** — all running (non-crashed, honest) parties deliver the
+  same value;
+* **validity** — if the sender is honest and its round-1 transmission
+  happened before any crash, that value is the one delivered;
+* **default** — a sender crashed from round 1 delivers nothing, and the
+  running parties must agree on the default 0 (the paper's convention
+  for missing contributions).
+
+Swept per protocol at its own bound: Dolev-Strong (t < n, here t = 2),
+EIG (3t < n, t = 1), phase-king (4t < n, t = 1), all at n = 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.dolev_strong import DolevStrongBroadcast
+from repro.broadcast.eig import EIGBroadcast
+from repro.broadcast.phase_king import PhaseKingBroadcast
+from repro.faults import CrashFault, FaultPlan, FaultRule
+from repro.net.adversary import Adversary
+from repro.net.network import run_protocol
+
+N = 5
+SENDER = 1
+VALUE = 1  # distinct from the default 0, so validity is a real check.
+TIMEOUT = 12 * N
+
+PROTOCOLS = {
+    "dolev-strong": (lambda sender: DolevStrongBroadcast(N, 2, sender=sender), 2),
+    "eig": (lambda sender: EIGBroadcast(N, 1, sender=sender), 1),
+    "phase-king": (lambda sender: PhaseKingBroadcast(N, 1, sender=sender), 1),
+}
+
+
+def relays(t):
+    """The first ``t`` non-sender parties (the crash victims)."""
+    return [i for i in range(1, N + 1) if i != SENDER][:t]
+
+
+def crash_plan(parties, at_round=1, recover_at=None, name="crash"):
+    return FaultPlan(
+        name=name,
+        crashes=tuple(
+            CrashFault(party=p, at_round=at_round, recover_at=recover_at)
+            for p in parties
+        ),
+    )
+
+
+def run_broadcast(protocol, plan, seed=11, adversary=None):
+    inputs = [VALUE if i == SENDER else 0 for i in range(1, N + 1)]
+    return run_protocol(
+        protocol,
+        inputs,
+        adversary=adversary,
+        seed=seed,
+        fault_plan=plan,
+        timeout_rounds=TIMEOUT,
+    )
+
+
+def check_agreement(execution, crashed, corrupted=(), expect=None):
+    running = [
+        i
+        for i in range(1, N + 1)
+        if i not in crashed and i not in corrupted
+    ]
+    outputs = [execution.outputs[i] for i in running]
+    assert all(o == outputs[0] for o in outputs), (
+        f"running parties disagree: { {i: execution.outputs[i] for i in running} }"
+    )
+    if expect is not None:
+        assert outputs[0] == expect
+    return outputs[0]
+
+
+# -- crash scenarios, swept over every protocol at its own bound -------------------
+
+SCENARIOS = [
+    "baseline",
+    "crash-one-relay",
+    "crash-t-relays",
+    "crash-recover",
+    "drop-as-crash",
+    "sender-crash-late",
+    "sender-crash-immediate",
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_crash_conformance(protocol_name, scenario, conformance_log):
+    factory, t = PROTOCOLS[protocol_name]
+    protocol = factory(SENDER)
+    if scenario == "baseline":
+        plan, crashed, expect = FaultPlan(name="baseline"), (), VALUE
+    elif scenario == "crash-one-relay":
+        crashed = tuple(relays(1))
+        plan, expect = crash_plan(crashed, name=scenario), VALUE
+    elif scenario == "crash-t-relays":
+        crashed = tuple(relays(t))
+        plan, expect = crash_plan(crashed, name=scenario), VALUE
+    elif scenario == "crash-recover":
+        crashed = tuple(relays(1))
+        plan = crash_plan(crashed, at_round=2, recover_at=4, name=scenario)
+        expect = VALUE  # round-1 relay already happened; crash is sub-threshold.
+    elif scenario == "drop-as-crash":
+        crashed = tuple(relays(1))
+        plan = FaultPlan(
+            name=scenario,
+            rules=(FaultRule(kind="drop", senders=list(crashed)),),
+        )
+        expect = VALUE
+    elif scenario == "sender-crash-late":
+        crashed = (SENDER,)
+        plan = crash_plan(crashed, at_round=2, name=scenario)
+        expect = VALUE  # the round-1 distribution already reached everyone.
+    elif scenario == "sender-crash-immediate":
+        crashed = (SENDER,)
+        plan = crash_plan(crashed, at_round=1, name=scenario)
+        expect = 0  # nothing was ever sent: the paper's default decides.
+    execution = run_broadcast(protocol, plan)
+    assert not execution.timed_out
+    check_agreement(execution, crashed, expect=expect)
+    conformance_log(
+        protocol=protocol_name,
+        plan=plan.name,
+        check="crash-agreement-validity",
+        expect=expect,
+        ok=True,
+    )
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_crash_conformance_is_seed_stable(protocol_name):
+    factory, t = PROTOCOLS[protocol_name]
+    plan = crash_plan(relays(t), name="crash-t")
+    for seed in (1, 2, 3):
+        execution = run_broadcast(factory(SENDER), plan, seed=seed)
+        check_agreement(execution, relays(t), expect=VALUE)
+
+
+def test_dolev_strong_byzantine_plus_crash(conformance_log):
+    # DS tolerates t = 2 total faults: one silently-Byzantine party plus
+    # one crashed honest relay still leaves agreement and validity intact.
+    protocol = DolevStrongBroadcast(N, 2, sender=SENDER)
+    plan = crash_plan([4], name="byz+crash")
+    execution = run_broadcast(
+        protocol, plan, adversary=Adversary(corrupted=[5])
+    )
+    check_agreement(execution, crashed=(4,), corrupted=(5,), expect=VALUE)
+    conformance_log(
+        protocol="dolev-strong", plan="byz+crash", check="mixed-fault-bound", ok=True
+    )
+
+
+def test_dolev_strong_other_sender_positions():
+    for sender in (3, 5):
+        protocol = DolevStrongBroadcast(N, 2, sender=sender)
+        crashed = [i for i in range(1, N + 1) if i != sender][:2]
+        inputs = [VALUE if i == sender else 0 for i in range(1, N + 1)]
+        execution = run_protocol(
+            protocol,
+            inputs,
+            seed=5,
+            fault_plan=crash_plan(crashed),
+            timeout_rounds=TIMEOUT,
+        )
+        check_agreement(execution, crashed, expect=VALUE)
+
+
+def test_crashed_relay_still_decides_correctly():
+    # Send omission only silences the party; it keeps receiving, so in
+    # Dolev-Strong a crashed relay still reconstructs the sender's value.
+    protocol = DolevStrongBroadcast(N, 2, sender=SENDER)
+    crashed = relays(2)
+    execution = run_broadcast(protocol, crash_plan(crashed))
+    for party in crashed:
+        assert execution.outputs[party] == VALUE

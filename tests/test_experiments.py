@@ -32,6 +32,7 @@ EXPECTED_IDS = {
     "E-TRD",
     "E-ABL",
     "E-APB",
+    "E-FAULT",
 }
 
 

@@ -191,7 +191,7 @@ class TestSerialParallelEquality:
     """run_experiment / run_many output is invariant in the worker count."""
 
     def test_sharded_registry_contents(self):
-        assert SHARDED_IDS == {"E-C56", "E-C66", "E-L64", "E-COST"}
+        assert SHARDED_IDS == {"E-C56", "E-C66", "E-L64", "E-COST", "E-FAULT"}
 
     @pytest.mark.parametrize("jobs", [2, 3, 4])
     def test_claim56_equal_at_any_worker_count(self, jobs):
