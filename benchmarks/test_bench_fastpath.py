@@ -1,0 +1,130 @@
+"""Microbenchmarks: naive crypto paths vs the ``repro.fastpath`` kernels.
+
+Times the three hot operations the fastpath layer accelerates — Pedersen
+commit, Pedersen verify, and VSS share verification — with the kernels
+enabled (warm fixed-base tables, Horner ladder) and disabled (the plain
+``pow``-per-term code paths), at the security levels where the speedup
+is supposed to pay for itself.  Records everything as
+``results/BENCH_fastpath.json`` and fails if any measured speedup falls
+below its budget ratio.
+
+The two legs compute bit-identical values (asserted here per operation;
+the equivalence argument lives in DESIGN.md and the property tests in
+``tests/test_fastpath.py``) — this file only defends the *perf* claim.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro import fastpath
+from repro.crypto.commitment import PedersenCommitment, PedersenParameters
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.vss import FeldmanVSS
+
+SECURITY_LEVELS = (48, 64)
+#: Minimum naive/fast wall-clock ratio per operation (the perf contract).
+BUDGETS = {
+    "pedersen_commit": 2.0,
+    "pedersen_verify": 2.0,
+    "vss_verify": 2.0,
+}
+BATCH = 64
+REPS = 5
+ARTIFACT = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_fastpath.json"
+)
+
+
+def _time_batch(op, batch):
+    """Min-of-REPS wall-clock (ns per item) for ``op`` over ``batch``."""
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter_ns()
+        for item in batch:
+            op(item)
+        elapsed = time.perf_counter_ns() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best / len(batch)
+
+
+def _workloads(bits):
+    """The benchmarked operations for one security level.
+
+    Returns ``{name: (op, batch)}`` where each op returns a comparable
+    value so the naive and fast legs can be checked for equality.
+    """
+    rng = random.Random(bits * 7919)
+    group = SchnorrGroup.for_security(bits)
+    params = PedersenParameters.generate(group)
+    scheme = PedersenCommitment(params)
+    vss = FeldmanVSS(group, threshold=3, parties=8)
+    dealing = vss.deal(rng.randrange(group.q), rng)
+
+    commit_inputs = [
+        (rng.randrange(group.q), rng.randrange(group.q)) for _ in range(BATCH)
+    ]
+    openings = [
+        (scheme.commit_with_randomness(m, r), m, r) for m, r in commit_inputs
+    ]
+    shares = [dealing.shares[1 + (i % 8)] for i in range(BATCH)]
+
+    return {
+        "pedersen_commit": (
+            lambda mr: scheme.commit_with_randomness(*mr).value,
+            commit_inputs,
+        ),
+        "pedersen_verify": (
+            lambda cmo: scheme.commit_with_randomness(cmo[1], cmo[2]) == cmo[0],
+            openings,
+        ),
+        "vss_verify": (
+            lambda share: vss.verify_share(dealing.commitments, share),
+            shares,
+        ),
+    }
+
+
+def test_bench_fastpath_budgets():
+    """Fastpath kernels must beat the naive paths by their budget ratios."""
+    measurements = {}
+    failures = []
+    for bits in SECURITY_LEVELS:
+        workloads = _workloads(bits)
+        measurements[str(bits)] = {}
+        for name, (op, batch) in workloads.items():
+            with fastpath.disabled():
+                naive_values = [op(item) for item in batch]
+                naive_ns = _time_batch(op, batch)
+            fastpath.clear_caches()
+            fast_values = [op(item) for item in batch]  # warm-up: builds tables
+            fast_ns = _time_batch(op, batch)
+            assert fast_values == naive_values, f"{name}@{bits}: values diverged"
+            speedup = naive_ns / fast_ns if fast_ns else float("inf")
+            measurements[str(bits)][name] = {
+                "naive_ns_per_op": round(naive_ns, 1),
+                "fast_ns_per_op": round(fast_ns, 1),
+                "speedup": round(speedup, 3),
+                "budget": BUDGETS[name],
+            }
+            if speedup < BUDGETS[name]:
+                failures.append(
+                    f"{name}@{bits} bits: {speedup:.2f}x < budget {BUDGETS[name]}x"
+                )
+
+    artifact = {
+        "batch": BATCH,
+        "reps": REPS,
+        "security_levels": list(SECURITY_LEVELS),
+        "budgets": BUDGETS,
+        "measurements": measurements,
+        "fastpath_caches": fastpath.cache_sizes(),
+        "fastpath_stats": fastpath.stats(),
+    }
+    os.makedirs(os.path.dirname(ARTIFACT), exist_ok=True)
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert not failures, "; ".join(failures) + f" (artifact: {artifact})"

@@ -7,9 +7,11 @@ wall-clocks — plus the speedups and the CPU budget they were measured
 under — as ``results/BENCH_parallel.json``.
 
 Interpretation note: speedup is bounded by the CPUs actually available
-(``cpu_budget`` in the artifact).  On a single-core runner the expected
-speedup is ~1.0x minus pool overhead; the ≥1.8x-at-4-workers target is
-meaningful only when ``cpu_budget >= 4``.
+(``cpu_budget`` in the artifact).  On a single-core runner the workers
+buy no extra CPU, but they fork from a coordinator whose parameter
+caches and fixed-base tables are already warm — so jobs >= 2 must still
+come out at >= 1.0x (the warm start pays for pool overhead).  The
+≥1.8x-at-4-workers target is meaningful only when ``cpu_budget >= 4``.
 """
 
 import json
@@ -67,7 +69,13 @@ def test_bench_parallel_scaling(benchmark):
         run_many, args=(SUBSET, config), kwargs={"jobs": 1}, rounds=1, iterations=1
     )
 
-    # Correctness gate: parallelism must never cost more than pool startup.
-    # The speedup target (>= 1.8x at 4 workers) only binds with >= 4 CPUs.
+    # Gates.  The persistent warm-started pool (fork inherits the
+    # coordinator's safe primes and fixed-base tables; the initializer
+    # replays them under spawn) must keep modest worker counts from losing
+    # to serial even on a single-CPU budget — pool overhead has to be paid
+    # for by the warm start.  The genuine-scaling target (>= 1.8x at 4
+    # workers) only binds when the hardware can actually run 4 workers.
+    for jobs in (2, 4):
+        assert artifact["speedup_vs_serial"][str(jobs)] >= 1.0, artifact
     if default_jobs() >= 4:
         assert artifact["speedup_vs_serial"]["4"] >= 1.8, artifact

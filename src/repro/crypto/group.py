@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Tuple
+from typing import Dict, Iterable, List, Tuple
 
+from .. import fastpath
 from ..errors import InvalidParameterError
 from ..obs import runtime as _obs
 from .field import PrimeField, is_probable_prime
@@ -39,12 +39,21 @@ def _candidate_stream(bits: int, label: bytes):
         counter += 1
 
 
-@lru_cache(maxsize=None)
+# Explicit dicts rather than functools.lru_cache so the parallel engine can
+# snapshot a warm process's parameters and seed them into pool workers
+# (repro.parallel.warmup) without re-running the prime search per worker.
+_SAFE_PRIME_CACHE: Dict[int, Tuple[int, int]] = {}
+_GROUP_CACHE: Dict[int, "SchnorrGroup"] = {}
+
+
 def safe_prime_parameters(security_bits: int) -> Tuple[int, int]:
     """Return (p, q) with p = 2q + 1, both prime, q of ``security_bits`` bits.
 
     Deterministic in ``security_bits``.
     """
+    cached = _SAFE_PRIME_CACHE.get(security_bits)
+    if cached is not None:
+        return cached
     if not MIN_SECURITY_BITS <= security_bits <= MAX_SECURITY_BITS:
         raise InvalidParameterError(
             f"security_bits must be in [{MIN_SECURITY_BITS}, {MAX_SECURITY_BITS}]"
@@ -55,8 +64,32 @@ def safe_prime_parameters(security_bits: int) -> Tuple[int, int]:
             continue
         p = 2 * q + 1
         if is_probable_prime(p):
+            _SAFE_PRIME_CACHE[security_bits] = (p, q)
             return p, q
     raise AssertionError("unreachable: candidate stream is infinite")
+
+
+def cached_safe_primes() -> List[Tuple[int, int, int]]:
+    """Every (security_bits, p, q) this process has computed (warm-state export)."""
+    return [(bits, p, q) for bits, (p, q) in sorted(_SAFE_PRIME_CACHE.items())]
+
+
+def seed_safe_primes(entries: Iterable[Tuple[int, int, int]]) -> None:
+    """Install parameters computed elsewhere (pool-worker warm start).
+
+    Entries are re-verified cheaply (shape only, not primality — the prime
+    search is deterministic, so a well-formed entry from a peer process is
+    the same one this process would derive).
+    """
+    for bits, p, q in entries:
+        if p == 2 * q + 1 and q.bit_length() == bits:
+            _SAFE_PRIME_CACHE.setdefault(bits, (p, q))
+
+
+def clear_parameter_caches() -> None:
+    """Drop the memoized parameters and groups (test isolation hook)."""
+    _SAFE_PRIME_CACHE.clear()
+    _GROUP_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -73,10 +106,13 @@ class GroupElement:
         return GroupElement(self.group, (self.value * other.value) % self.group.p)
 
     def __pow__(self, exponent) -> "GroupElement":
-        exp = int(exponent) % self.group.q
+        group = self.group
+        exp = group.normalize_exponent(exponent)
         if _obs.metrics is not None:
             _obs.metrics.inc("crypto.group.exp")
-        return GroupElement(self.group, pow(self.value, exp, self.group.p))
+        if fastpath.enabled():
+            return GroupElement(group, fastpath.pow_mod(group.p, group.q, self.value, exp))
+        return GroupElement(group, pow(self.value, exp, group.p))
 
     def inverse(self) -> "GroupElement":
         if _obs.metrics is not None:
@@ -120,9 +156,17 @@ class SchnorrGroup:
 
     @classmethod
     def for_security(cls, security_bits: int) -> "SchnorrGroup":
-        """Deterministically build the canonical group for a security level."""
-        p, q = safe_prime_parameters(security_bits)
-        return cls(p, q)
+        """Deterministically build the canonical group for a security level.
+
+        Memoized per process: the group is immutable and construction
+        re-runs two Miller--Rabin certifications, which protocols would
+        otherwise pay on every instantiation.
+        """
+        group = _GROUP_CACHE.get(security_bits)
+        if group is None:
+            p, q = safe_prime_parameters(security_bits)
+            group = _GROUP_CACHE[security_bits] = cls(p, q)
+        return group
 
     def _find_generator(self) -> int:
         # Any quadratic residue != 1 generates the order-q subgroup since q
@@ -151,6 +195,17 @@ class SchnorrGroup:
 
     def is_member(self, value: int) -> bool:
         return 0 < value < self.p and pow(value, self.q, self.p) == 1
+
+    def normalize_exponent(self, exponent) -> int:
+        """Reduce any exponent-like value (int, FieldElement, negative, >= q)
+        into the canonical range ``[0, q)``.
+
+        This is the *single* normalization point shared by
+        :meth:`GroupElement.__pow__`, :meth:`power`, and every fastpath
+        kernel, so the two public exponentiation entry points can never
+        disagree about how out-of-range exponents are interpreted.
+        """
+        return int(exponent) % self.q
 
     def power(self, exponent) -> GroupElement:
         """g ** exponent for the canonical generator."""

@@ -10,7 +10,11 @@
   purely a wall-clock knob — see :mod:`repro.parallel`);
 * ``--faults PLAN.json`` — load a :class:`repro.faults.FaultPlan` and
   sweep it through E-FAULT alongside the standard plan library (the
-  custom plan is measured but never fails the run).
+  custom plan is measured but never fails the run);
+* ``--profile`` — run the whole batch under :mod:`cProfile` (forces
+  ``--jobs 1``: the profiler sees only the coordinator process) and write
+  the top functions by cumulative time as ``PROFILE.txt`` next to the
+  ``--json`` artifacts (or in the working directory).
 
 ``python -m repro experiments run ...`` reaches the same driver through
 the :mod:`repro.__main__` dispatcher.
@@ -66,6 +70,13 @@ def main(argv=None) -> int:
         help="a fault-plan JSON file (see repro.faults.FaultPlan) swept by"
         " E-FAULT alongside the standard plan library; measured, never gated",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run with cProfile (forces --jobs 1) and write the"
+        " top functions by cumulative time to PROFILE.txt next to the --json"
+        " artifacts (or the working directory)",
+    )
     parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
     parser.add_argument("--n", type=int, default=5, help="number of parties")
     parser.add_argument("--t", type=int, default=2, help="corruption bound")
@@ -112,7 +123,29 @@ def main(argv=None) -> int:
         fault_plan=fault_plan,
     )
     experiment_ids = args.experiments or list(REGISTRY)
-    results = run_many(experiment_ids, config, jobs=jobs)
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        if jobs != 1:
+            print("--profile forces --jobs 1 (cProfile sees one process)")
+            jobs = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            results = run_many(experiment_ids, config, jobs=jobs)
+        finally:
+            profiler.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(40)
+            profile_path = os.path.join(args.json or os.curdir, "PROFILE.txt")
+            with open(profile_path, "w", encoding="utf-8") as handle:
+                handle.write(stream.getvalue())
+            print(f"profile written to {profile_path}")
+    else:
+        results = run_many(experiment_ids, config, jobs=jobs)
 
     failures = 0
     for result in results:

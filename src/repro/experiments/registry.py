@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
 from ..obs import Metrics, runtime as _obs_runtime
-from ..parallel import ExperimentEngine, normalize_jobs
+from ..parallel import ExperimentEngine, normalize_jobs, prewarm_for_config
 from . import (
     ablation,
     appendix_b,
@@ -76,6 +76,7 @@ def run_experiment(
     experiment_id: str,
     config: Optional[ExperimentConfig] = None,
     jobs: int = 1,
+    engine: Optional[ExperimentEngine] = None,
 ) -> ExperimentResult:
     """Run one experiment with cost accounting attached to its result.
 
@@ -88,6 +89,10 @@ def run_experiment(
     ``jobs > 1`` shards the trial batches of the opt-in heavy experiments
     (``SHARDED_IDS``) across worker processes; the result — including its
     metrics counters and histograms — is identical at every worker count.
+    Pass ``engine`` to reuse a caller-owned (already warm) pool across
+    several experiments; otherwise a temporary engine is created, warm-
+    started from the coordinator's parameter caches, and shut down before
+    returning.
     """
     config = ExperimentConfig() if config is None else config
     try:
@@ -96,13 +101,25 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
-    start = time.perf_counter()
-    with _obs_runtime.observed(metrics=Metrics()) as (_, metrics):
-        if experiment_id in SHARDED_IDS:
-            result = runner(config, engine=ExperimentEngine(jobs))
-        else:
-            result = runner(config)
-    elapsed = time.perf_counter() - start
+    owns_engine = False
+    if experiment_id in SHARDED_IDS and engine is None:
+        if jobs > 1:
+            # Warm the coordinator first: under fork the pool workers
+            # inherit the parameter caches and fixed-base tables for free.
+            prewarm_for_config(config)
+        engine = ExperimentEngine(jobs)
+        owns_engine = True
+    try:
+        start = time.perf_counter()
+        with _obs_runtime.observed(metrics=Metrics()) as (_, metrics):
+            if experiment_id in SHARDED_IDS:
+                result = runner(config, engine=engine)
+            else:
+                result = runner(config)
+        elapsed = time.perf_counter() - start
+    finally:
+        if owns_engine and engine is not None:
+            engine.close()
     snapshot = metrics.snapshot()
     result.metrics.setdefault("wall_seconds", elapsed)
     result.metrics.setdefault("counters", snapshot["counters"])
@@ -139,14 +156,20 @@ def run_many(
     if jobs == 1:
         return [run_experiment(experiment_id, config) for experiment_id in experiment_ids]
 
-    engine = ExperimentEngine(jobs)
+    # One pool for the whole batch: warm the coordinator's parameter caches
+    # first (fork-inherited by every worker), then reuse the same engine for
+    # the light fan-out and every heavy experiment's trial shards.
+    prewarm_for_config(config)
     light = [e for e in experiment_ids if e not in SHARDED_IDS]
     heavy = [e for e in experiment_ids if e in SHARDED_IDS]
-    results = dict(
-        zip(light, engine.map(_run_one, [(experiment_id, config) for experiment_id in light]))
-    )
-    for experiment_id in heavy:
-        results[experiment_id] = run_experiment(experiment_id, config, jobs=jobs)
+    with ExperimentEngine(jobs) as engine:
+        results = dict(
+            zip(light, engine.map(_run_one, [(experiment_id, config) for experiment_id in light]))
+        )
+        for experiment_id in heavy:
+            results[experiment_id] = run_experiment(
+                experiment_id, config, jobs=jobs, engine=engine
+            )
     return [results[experiment_id] for experiment_id in experiment_ids]
 
 

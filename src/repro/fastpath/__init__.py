@@ -1,0 +1,76 @@
+"""repro.fastpath — bit-identical performance kernels for the hot paths.
+
+The crypto layer (:mod:`repro.crypto.group`, ``commitment``, ``vss``,
+``polynomial``) routes its inner loops through this package when the
+fastpath is enabled (the default).  Every kernel computes *exactly* the
+same values as the naive code it replaces — see :mod:`.kernels` for the
+per-kernel equivalence argument and DESIGN.md §"fastpath" for the cache
+invalidation rules — and the call sites mirror the naive paths' logical
+``crypto.*`` counter increments, so experiment artifacts are identical
+with the fastpath on or off (``experiments.diffjson`` gates this in CI).
+
+Disable with ``REPRO_FASTPATH=0`` in the environment, or at runtime::
+
+    from repro import fastpath
+    with fastpath.disabled():
+        ...  # naive kernels, for A/B benchmarks
+
+Telemetry: ``fastpath.stats()`` snapshots the process-local ``fastpath.*``
+counters (table hits/misses/builds, Horner vs ladder dispatch, Lagrange
+memo hits).  They are process-local by design — cache warmth depends on
+process topology, so these counters must stay out of the deterministic
+ambient registry that experiment artifacts embed.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict
+
+from . import kernels
+from .kernels import (  # noqa: F401  (re-exported kernel API)
+    STATS,
+    cache_sizes,
+    cached_table_keys,
+    clear_caches,
+    ensure_table,
+    lagrange_cache_get,
+    lagrange_cache_put,
+    multi_pow,
+    pedersen_commit,
+    pow_mod,
+    vss_expected,
+)
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """Whether the fastpath kernels are active in this process."""
+    return _ENABLED
+
+
+def configure(enable: bool) -> None:
+    """Switch the fastpath on or off process-wide."""
+    global _ENABLED
+    _ENABLED = bool(enable)
+
+
+@contextmanager
+def disabled():
+    """Scope with the fastpath off (the naive reference path)."""
+    previous = _ENABLED
+    configure(False)
+    try:
+        yield
+    finally:
+        configure(previous)
+
+
+def stats() -> Dict[str, Any]:
+    """A snapshot of the process-local ``fastpath.*`` telemetry counters."""
+    snapshot = STATS.snapshot()
+    snapshot["caches"] = cache_sizes()
+    snapshot["enabled"] = _ENABLED
+    return snapshot

@@ -21,7 +21,7 @@ BROADCAST = -1
 """Sentinel recipient meaning "deliver to every party"."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A single message in flight.
 
@@ -56,7 +56,7 @@ def broadcast(payload: Any, tag: str = "") -> "Draft":
     return Draft(recipient=BROADCAST, payload=payload, tag=tag)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Draft:
     """A message as produced by a party program, before the sender is stamped."""
 
@@ -70,6 +70,8 @@ class Draft:
 
 class Inbox:
     """The messages delivered to one party at the start of a round."""
+
+    __slots__ = ("_messages",)
 
     def __init__(self, messages: Optional[List[Message]] = None):
         self._messages = list(messages or ())
@@ -120,7 +122,7 @@ class Inbox:
         return f"Inbox({self._messages!r})"
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundRecord:
     """Everything that was sent in one round (for transcripts)."""
 

@@ -44,6 +44,29 @@ DEFAULT_MAX_ROUNDS = 10_000
 ProgramFactory = Callable[[PartyContext, Any], Any]
 
 
+def bucket_by_recipient(
+    messages: Sequence[Message], recipients
+) -> Dict[int, List[Message]]:
+    """One-pass routing index: recipient -> messages addressed to it.
+
+    Equivalent to ``{i: [m for m in messages if m.addressed_to(i)]}`` (the
+    per-party scan it replaces, including message order within each
+    bucket), but walks the traffic once instead of once per recipient —
+    the scan was quadratic in round size for the rushing instant-view
+    construction.
+    """
+    buckets: Dict[int, List[Message]] = {i: [] for i in recipients}
+    for message in messages:
+        if message.recipient == -1:  # BROADCAST: addressed to everyone
+            for bucket in buckets.values():
+                bucket.append(message)
+        else:
+            bucket = buckets.get(message.recipient)
+            if bucket is not None:
+                bucket.append(message)
+    return buckets
+
+
 class Scheduler:
     """Drives one protocol execution to completion."""
 
@@ -186,10 +209,13 @@ class Scheduler:
 
             # 2. Rushing: corrupted parties instantly receive this round's
             #    honest traffic addressed to them (and honest broadcasts).
-            rushed: Dict[int, Inbox] = {}
-            for i in self.adversary.corrupted:
-                instant = [m for m in honest_traffic if m.addressed_to(i)]
-                rushed[i] = Inbox(stale_for_corrupted[i] + instant)
+            instant_views = bucket_by_recipient(
+                honest_traffic, self.adversary.corrupted
+            )
+            rushed: Dict[int, Inbox] = {
+                i: Inbox(stale_for_corrupted[i] + instant_views[i])
+                for i in self.adversary.corrupted
+            }
 
             corrupted_outboxes = self.adversary.act(round_number, rushed)
             corrupted_traffic: List[Message] = []
@@ -263,10 +289,9 @@ class Scheduler:
                 metrics.inc("net.messages.delivered", delivered)
             # Corrupted parties already saw this round's honest traffic; only
             # corrupted-to-corrupted traffic still awaits them next round.
-            stale_for_corrupted = {
-                i: [m for m in corrupted_traffic if m.addressed_to(i)]
-                for i in self.adversary.corrupted
-            }
+            stale_for_corrupted = bucket_by_recipient(
+                corrupted_traffic, self.adversary.corrupted
+            )
 
             if all(state.finished for state in self._honest.values()):
                 break

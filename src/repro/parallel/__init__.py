@@ -18,11 +18,23 @@ Entry points:
 """
 
 from .engine import SERIAL_ENGINE, ExperimentEngine, ShardOutcome, default_jobs, normalize_jobs
+from .warmup import (
+    apply_warm_state,
+    export_warm_state,
+    prewarm,
+    prewarm_for_config,
+    security_levels_for,
+)
 
 __all__ = [
     "ExperimentEngine",
     "SERIAL_ENGINE",
     "ShardOutcome",
+    "apply_warm_state",
     "default_jobs",
+    "export_warm_state",
     "normalize_jobs",
+    "prewarm",
+    "prewarm_for_config",
+    "security_levels_for",
 ]

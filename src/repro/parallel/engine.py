@@ -25,10 +25,11 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import Metrics, Tracer
 from ..obs import runtime as _obs_runtime
+from . import warmup
 
 
 def default_jobs() -> int:
@@ -66,11 +67,53 @@ def _run_shard(task: Tuple[Callable[..., Any], Tuple[Any, ...], bool]) -> ShardO
     return ShardOutcome(payload=payload, metrics=metrics, trace_records=records)
 
 
+def _warm_worker(payload: Any) -> None:
+    """Pool initializer: replay the coordinator's warm parameter caches.
+
+    Under ``fork`` (the Linux default) the child already inherited the
+    caches and this is a cheap no-op replay; under ``spawn`` it saves each
+    worker from re-deriving safe primes and fixed-base tables from scratch.
+    """
+    warmup.apply_warm_state(payload)
+
+
 class ExperimentEngine:
-    """Maps task functions over argument tuples, inline or across processes."""
+    """Maps task functions over argument tuples, inline or across processes.
+
+    The engine owns one **persistent** worker pool: the first parallel
+    :meth:`map` creates it (warm-started from the coordinator's parameter
+    caches) and later calls reuse it.  Per-``map`` pool creation was the
+    dominant cost of small parallel runs — process startup, interpreter
+    import, and cache rebuilds charged to every experiment instead of once
+    per engine.  Call :meth:`close` (or use the engine as a context
+    manager) when done; a closed engine can be reused and will lazily
+    recreate its pool.
+    """
 
     def __init__(self, jobs: Any = None):
         self.jobs = normalize_jobs(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_warm_worker,
+                initargs=(warmup.export_warm_state(),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; safe on never-parallel engines)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def map(
         self, fn: Callable[..., Any], arglists: Sequence[Tuple[Any, ...]]
@@ -79,7 +122,7 @@ class ExperimentEngine:
 
         With ``jobs == 1`` (or a single task) everything runs inline in the
         caller's observation scope — no pool, no pickling, no overhead.
-        Otherwise tasks fan out over a :class:`ProcessPoolExecutor` and the
+        Otherwise tasks fan out over the engine's persistent pool and the
         workers' captured metrics / trace records fold into the caller's
         ambient registry in task order before the payloads are returned.
         """
@@ -89,8 +132,7 @@ class ExperimentEngine:
 
         trace = _obs_runtime.tracer.enabled
         shard_tasks = [(fn, tuple(args), trace) for args in tasks]
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
-            outcomes = list(pool.map(_run_shard, shard_tasks))
+        outcomes = list(self._ensure_pool().map(_run_shard, shard_tasks))
 
         ambient = _obs_runtime.metrics
         for outcome in outcomes:
