@@ -4,11 +4,13 @@ Commands:
 
 * ``experiments run [IDS ...] [options]`` — the experiments driver
   (:mod:`repro.experiments.__main__`); ``run`` is optional sugar, and
-  ``experiments list`` is shorthand for ``--list``.
+  ``experiments list`` is shorthand for ``--list``;
+* ``obs {export,report,diff,baseline}`` — observability exports and the
+  metrics-regression surface (:mod:`repro.obs.__main__`).
 
 Installed as the ``repro`` console script, so
-``repro experiments run E-FAULT --faults plan.json --jobs 4``
-works wherever the package does.
+``repro experiments run E-FAULT --faults plan.json --jobs 4`` and
+``repro obs diff`` work wherever the package does.
 """
 
 from __future__ import annotations
@@ -21,6 +23,10 @@ _USAGE = """usage: python -m repro <command> ...
 commands:
   experiments [run|list] ...   run the paper's experiments (see
                                `python -m repro experiments --help`)
+  obs {export,report,diff,baseline} ...
+                               observability exports and the metrics
+                               regression surface (see
+                               `python -m repro obs --help`)
 """
 
 
@@ -38,6 +44,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif rest and rest[0] == "list":
             rest = ["--list"] + rest[1:]
         return experiments_main(rest)
+    if command == "obs":
+        from .obs.__main__ import main as obs_main
+
+        return obs_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
     return 2
 

@@ -140,10 +140,37 @@ def main(argv=None) -> int:
             stream = io.StringIO()
             stats = pstats.Stats(profiler, stream=stream)
             stats.strip_dirs().sort_stats("cumulative").print_stats(40)
-            profile_path = os.path.join(args.json or os.curdir, "PROFILE.txt")
+            out_dir = args.json or os.curdir
+            profile_path = os.path.join(out_dir, "PROFILE.txt")
             with open(profile_path, "w", encoding="utf-8") as handle:
                 handle.write(stream.getvalue())
-            print(f"profile written to {profile_path}")
+            # The same top-40 as structured records, for machine consumption
+            # (dashboards, regression tooling) — mirrors the text report.
+            records = []
+            for func, (cc, nc, tottime, cumtime, _callers) in sorted(
+                stats.stats.items(), key=lambda item: item[1][3], reverse=True
+            )[:40]:
+                filename, line, name = func
+                records.append(
+                    {
+                        "file": filename,
+                        "line": line,
+                        "function": name,
+                        "ncalls": nc,
+                        "primitive_calls": cc,
+                        "tottime": round(tottime, 6),
+                        "cumtime": round(cumtime, 6),
+                    }
+                )
+            profile_json_path = os.path.join(out_dir, "PROFILE.json")
+            with open(profile_json_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"sort": "cumulative", "top": 40, "functions": records},
+                    handle,
+                    indent=2,
+                )
+                handle.write("\n")
+            print(f"profile written to {profile_path} and {profile_json_path}")
     else:
         results = run_many(experiment_ids, config, jobs=jobs)
 

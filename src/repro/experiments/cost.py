@@ -54,7 +54,10 @@ def measure_protocol(
     ground truth, so callers can assert the instrumentation is exact.  When
     ``aggregate`` is given, the run's full registry is folded into it.
     """
-    with runtime.observed(metrics=Metrics()) as (_, metrics):
+    # Keep an already-enabled ambient tracer through the measurement scope
+    # so `repro obs export E-COST` sees the protocol-level spans too.
+    ambient_tracer = runtime.tracer if runtime.tracer.enabled else None
+    with runtime.observed(tracer=ambient_tracer, metrics=Metrics()) as (_, metrics):
         execution = protocol.run([i % 2 for i in range(n)], seed=seed)
     if aggregate is not None:
         aggregate.merge(metrics)

@@ -111,7 +111,17 @@ def run_experiment(
         owns_engine = True
     try:
         start = time.perf_counter()
-        with _obs_runtime.observed(metrics=Metrics()) as (_, metrics):
+        # Scope a fresh metrics registry but keep an already-enabled ambient
+        # tracer installed (observed() would otherwise swap in the no-op
+        # tracer) — this is what lets `repro obs export` capture spans from
+        # a full experiment run.
+        ambient_tracer = (
+            _obs_runtime.tracer if _obs_runtime.tracer.enabled else None
+        )
+        with _obs_runtime.observed(tracer=ambient_tracer, metrics=Metrics()) as (
+            _,
+            metrics,
+        ):
             if experiment_id in SHARDED_IDS:
                 result = runner(config, engine=engine)
             else:

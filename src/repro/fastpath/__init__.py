@@ -74,3 +74,17 @@ def stats() -> Dict[str, Any]:
     snapshot["caches"] = cache_sizes()
     snapshot["enabled"] = _ENABLED
     return snapshot
+
+
+def reset_stats() -> Dict[str, Any]:
+    """Snapshot-and-clear the ``fastpath.*`` telemetry registry.
+
+    Returns the snapshot taken *before* clearing, so a caller measuring
+    one workload in a long-lived process (a warm pool worker serving many
+    runs) can bracket it: ``reset_stats()`` → run → ``stats()``.  Only
+    the counters are cleared — the kernel caches themselves (and their
+    warmth) are untouched; use :func:`clear_caches` for those.
+    """
+    snapshot = stats()
+    STATS.reset()
+    return snapshot

@@ -77,16 +77,17 @@ class FaultInjector:
     # -- bookkeeping -------------------------------------------------------------
 
     def _record(self, round_number: int, kind: str, message: Message, detail: str = ""):
-        self.records.append(
-            FaultRecord(
-                round=round_number,
-                kind=kind,
-                sender=message.sender,
-                recipient=message.recipient,
-                tag=message.tag,
-                detail=detail,
-            )
+        record = FaultRecord(
+            round=round_number,
+            kind=kind,
+            sender=message.sender,
+            recipient=message.recipient,
+            tag=message.tag,
+            detail=detail,
         )
+        self.records.append(record)
+        if _obs.flightrec is not None:
+            _obs.flightrec.record_fault(record)
         metrics = _obs.metrics
         if metrics is not None:
             metrics.inc("faults.injected")

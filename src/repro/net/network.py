@@ -6,6 +6,7 @@ import logging
 import random
 from typing import Any, Optional, Sequence
 
+from ..obs import flightrec as _flightrec
 from ..obs import runtime as _obs
 from .adversary import Adversary
 from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
@@ -84,6 +85,13 @@ def run_protocol(
             seed=effective_seed,
             defaulted=defaulted,
         )
+    if _obs.flightrec is not None:
+        _obs.flightrec.push(
+            "run_protocol.start",
+            protocol=type(protocol).__name__,
+            session=session or type(protocol).__name__,
+            seed=effective_seed,
+        )
     if adversary is None:
         adversary = Adversary(corrupted=())
     injector = None
@@ -108,4 +116,17 @@ def run_protocol(
         timeout_rounds=timeout_rounds,
         timeout_output=timeout_output,
     )
-    return scheduler.run()
+    try:
+        return scheduler.run()
+    except Exception as exc:
+        # A run that dies mid-protocol is exactly what the flight recorder
+        # exists for: snapshot the last-N buffer, then let the error out.
+        _flightrec.dump_if_active(
+            "exception",
+            protocol=type(protocol).__name__,
+            session=session or type(protocol).__name__,
+            seed=effective_seed,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        raise

@@ -32,6 +32,7 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import NetworkError, ProtocolError
+from ..obs import flightrec as _flightrec
 from ..obs import runtime as _obs
 from ..obs.metrics import payload_size
 from .adversary import Adversary
@@ -155,6 +156,7 @@ class Scheduler:
     def _run_rounds(self) -> Execution:
         tracer = _obs.tracer
         metrics = _obs.metrics
+        flight = _obs.flightrec
         rounds: List[RoundRecord] = []
         # Messages sent in the previous round, keyed by recipient.
         pending: Dict[int, List[Message]] = {i: [] for i in range(1, self.n + 1)}
@@ -180,6 +182,23 @@ class Scheduler:
                         unfinished=[
                             i for i, s in self._honest.items() if not s.finished
                         ],
+                    )
+                if flight is not None:
+                    unfinished = [
+                        i for i, s in self._honest.items() if not s.finished
+                    ]
+                    flight.push(
+                        "scheduler.timeout",
+                        round=round_number,
+                        session=self.session,
+                        unfinished=unfinished,
+                    )
+                    _flightrec.dump_if_active(
+                        "timeout",
+                        session=self.session,
+                        round=round_number,
+                        timeout_rounds=self.timeout_rounds,
+                        unfinished=unfinished,
                     )
                 break
             if round_number > self.max_rounds:
@@ -265,6 +284,17 @@ class Scheduler:
                 tracer.event(
                     "scheduler.round",
                     round=round_number,
+                    messages=len(traffic),
+                    honest=len(honest_traffic),
+                    corrupted=len(corrupted_traffic),
+                )
+            if flight is not None:
+                for message in traffic:
+                    flight.record_message(round_number, message)
+                flight.push(
+                    "round",
+                    round=round_number,
+                    session=self.session,
                     messages=len(traffic),
                     honest=len(honest_traffic),
                     corrupted=len(corrupted_traffic),

@@ -126,6 +126,19 @@ class Execution:
         first = vectors[0]
         for other in vectors[1:]:
             if other != first:
+                # Honest disagreement is a conformance failure: snapshot the
+                # flight recorder (if one is on) before raising, so the last
+                # rounds of traffic that produced the split are preserved.
+                from ..obs import flightrec
+
+                flightrec.dump_if_active(
+                    "consistency-violation",
+                    n=self.n,
+                    corrupted=sorted(self.corrupted),
+                    seed=self.seed,
+                    first=list(first),
+                    other=list(other),
+                )
                 raise ConsistencyError(
                     f"honest parties disagree on announced vector: {first} vs {other}"
                 )

@@ -30,13 +30,18 @@ Typical use::
 from .metrics import Histogram, Metrics, jsonable, payload_size
 from .tracer import NOOP_TRACER, NoopTracer, Tracer, read_jsonl
 from . import runtime
+from . import export, flightrec
+from .flightrec import FlightRecorder
 
 __all__ = [
+    "FlightRecorder",
     "Histogram",
     "Metrics",
     "NOOP_TRACER",
     "NoopTracer",
     "Tracer",
+    "export",
+    "flightrec",
     "jsonable",
     "payload_size",
     "read_jsonl",

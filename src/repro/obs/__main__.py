@@ -1,0 +1,353 @@
+"""CLI driver: ``python -m repro obs {export,report,diff,baseline} ...``.
+
+* ``export`` — run experiments with tracing, metrics, and the flight
+  recorder on, and write the exportable artifacts: a Perfetto-loadable
+  Chrome trace (``trace_chrome.json``), one Prometheus text exposition
+  per experiment (``<ID>.prom``, fastpath gauges included), the raw
+  metrics snapshots (``<ID>.metrics.json``), and a per-round
+  message-flow timeline for one zoo protocol (text + HTML);
+* ``baseline`` — regenerate ``results/OBS_baseline.json``, the canonical
+  metrics snapshot of the pinned experiment set (commit the result);
+* ``diff`` — compare a fresh run (or a ``--json`` artifact directory via
+  ``--from``) against the baseline: deterministic counters must match
+  exactly, timings are checked against a tolerance band (advisory unless
+  ``--strict-timings``); exits nonzero on drift;
+* ``report`` — a human-readable summary of the key cost counters per
+  pinned experiment, annotated against the baseline when one exists.
+
+``python -m repro obs ...`` reaches this driver through the
+:mod:`repro.__main__` dispatcher; ``python -m repro.obs`` works too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from . import Metrics, Tracer, flightrec, runtime
+from . import export as export_mod
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_TIMING_TOLERANCE,
+    PINNED_EXPERIMENTS,
+    PINNED_SCALE,
+    canonical_snapshot,
+    capture,
+    compare,
+    load,
+    pinned_config,
+    save,
+)
+
+#: The headline counters the report prints per experiment (when present).
+KEY_COUNTERS = (
+    "net.rounds",
+    "net.messages.sent",
+    "net.bytes.sent",
+    "crypto.group.exp",
+    "crypto.field.mul",
+    "crypto.hash.blocks",
+    "crypto.vss.shares_verified",
+)
+
+
+def _config_from_args(args) -> Any:
+    config = pinned_config(scale=args.scale, seed=args.seed)
+    if args.n is not None:
+        config.n = args.n
+    if args.t is not None:
+        config.t = args.t
+    return config
+
+
+def _config_from_baseline(baseline: Dict[str, Any]) -> Any:
+    from ..experiments.common import ExperimentConfig
+
+    pinned = baseline.get("config", {})
+    return ExperimentConfig(
+        n=pinned.get("n", 5),
+        t=pinned.get("t", 2),
+        seed=pinned.get("seed", 20050717),
+        scale=pinned.get("scale", PINNED_SCALE),
+        security_bits=pinned.get("security_bits", 24),
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=PINNED_SCALE)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--t", type=int, default=None)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (results identical at any value)",
+    )
+
+
+def _fresh_snapshots(
+    experiment_ids: List[str],
+    config: Any,
+    jobs: int,
+    from_dir: Optional[str],
+) -> Dict[str, Dict[str, Any]]:
+    """Canonical snapshots for the named experiments: re-run, or read
+    ``--json`` artifacts previously written by the experiments CLI."""
+    if from_dir is not None:
+        fresh = {}
+        for experiment_id in experiment_ids:
+            path = os.path.join(from_dir, f"{experiment_id}.json")
+            with open(path, "r", encoding="utf-8") as handle:
+                fresh[experiment_id] = canonical_snapshot(json.load(handle))
+        return fresh
+    from ..experiments.registry import run_many
+
+    results = run_many(experiment_ids, config, jobs=jobs)
+    return {result.experiment_id: canonical_snapshot(result) for result in results}
+
+
+# -- subcommands ---------------------------------------------------------------------
+
+
+def cmd_export(args) -> int:
+    from ..experiments.common import standard_protocols
+    from ..experiments.registry import REGISTRY, run_many
+
+    experiment_ids = args.experiments or ["E-COST"]
+    unknown = [e for e in experiment_ids if e not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    os.makedirs(args.out, exist_ok=True)
+
+    tracer = Tracer()
+    with flightrec.recording(run_id="export", dump_dir=args.out):
+        with runtime.observed(tracer=tracer, metrics=Metrics()):
+            results = run_many(experiment_ids, config, jobs=args.jobs)
+
+    trace_path = os.path.join(args.out, "trace_chrome.json")
+    export_mod.write_chrome_trace(trace_path, tracer.records, process_name="repro")
+    written = [trace_path]
+
+    gauges = export_mod.fastpath_gauges()
+    failures = 0
+    for result in results:
+        if not result.passed:
+            failures += 1
+        metrics = export_mod.metrics_from_snapshot(
+            result.metrics.get("counters") or {},
+            result.metrics.get("histograms") or {},
+        )
+        prom_path = os.path.join(args.out, f"{result.experiment_id}.prom")
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(export_mod.prometheus_text(metrics, extra_gauges=gauges))
+        snapshot_path = os.path.join(args.out, f"{result.experiment_id}.metrics.json")
+        with open(snapshot_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment_id": result.experiment_id,
+                    "passed": result.passed,
+                    "counters": result.metrics.get("counters") or {},
+                    "histograms": result.metrics.get("histograms") or {},
+                    "wall_seconds": result.metrics.get("wall_seconds"),
+                    "fastpath": gauges,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        written.extend([prom_path, snapshot_path])
+
+    protocol = standard_protocols(config).get(args.protocol)
+    if protocol is None:
+        print(f"unknown protocol {args.protocol!r} for the timeline", file=sys.stderr)
+        return 2
+    execution = protocol.run(
+        [i % 2 for i in range(protocol.n)], seed=config.seed
+    )
+    slug = args.protocol.replace("-", "_")
+    text_path = os.path.join(args.out, f"timeline_{slug}.txt")
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(export_mod.timeline(execution))
+    html_path = os.path.join(args.out, f"timeline_{slug}.html")
+    with open(html_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            export_mod.timeline_html(
+                execution, title=f"{args.protocol} execution timeline"
+            )
+        )
+    written.extend([text_path, html_path])
+
+    for path in written:
+        print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+def cmd_baseline(args) -> int:
+    config = _config_from_args(args)
+    experiment_ids = args.experiments or list(PINNED_EXPERIMENTS)
+    baseline = capture(experiment_ids, config, jobs=args.jobs)
+    save(baseline, args.out)
+    counters = sum(
+        len(snapshot["counters"]) for snapshot in baseline["experiments"].values()
+    )
+    print(
+        f"baseline written to {args.out}: {len(baseline['experiments'])} "
+        f"experiment(s), {counters} counters"
+    )
+    return 0
+
+
+def cmd_diff(args) -> int:
+    try:
+        baseline = load(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    config = _config_from_baseline(baseline)
+    experiment_ids = sorted(baseline.get("experiments", {}))
+    fresh = _fresh_snapshots(experiment_ids, config, args.jobs, args.from_dir)
+    report = compare(
+        baseline,
+        fresh,
+        timing_tolerance=args.timing_tolerance,
+        strict_timings=args.strict_timings,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_report(args) -> int:
+    baseline = None
+    try:
+        baseline = load(args.baseline)
+    except (OSError, ValueError):
+        pass
+    if baseline is not None:
+        config = _config_from_baseline(baseline)
+        experiment_ids = sorted(baseline.get("experiments", {}))
+    else:
+        config = _config_from_args(args)
+        experiment_ids = list(PINNED_EXPERIMENTS)
+    fresh = _fresh_snapshots(experiment_ids, config, args.jobs, args.from_dir)
+
+    expected = (baseline or {}).get("experiments", {})
+    for experiment_id in experiment_ids:
+        snapshot = fresh.get(experiment_id)
+        if snapshot is None:
+            print(f"[{experiment_id}] missing")
+            continue
+        status = "PASS" if snapshot["passed"] else "MISMATCH"
+        print(f"[{experiment_id}] {status}")
+        base = expected.get(experiment_id, {})
+        base_counters = base.get("counters", {})
+        shown = 0
+        for name in KEY_COUNTERS:
+            if name not in snapshot["counters"]:
+                continue
+            value = snapshot["counters"][name]
+            line = f"  {name:<30} {value:>14,.0f}"
+            if name in base_counters:
+                mark = "=" if base_counters[name] == value else "DRIFT"
+                line += f"  (baseline {base_counters[name]:,.0f} {mark})"
+            print(line)
+            shown += 1
+        others = len(snapshot["counters"]) - shown
+        if others > 0:
+            print(f"  ... {others} more counter(s)")
+        for name, value in sorted(snapshot["timings"].items()):
+            line = f"  {name:<30} {value:>14.3f}"
+            base_timings = base.get("timings", {})
+            if name in base_timings and base_timings[name] > 0:
+                line += f"  (baseline {base_timings[name]:.3f}, x{value / base_timings[name]:.2f})"
+            print(line)
+    gauges = export_mod.fastpath_gauges()
+    active = {name: value for name, value in gauges.items() if value}
+    print(f"fastpath (process-local, not regression-gated): {len(active)} live gauge(s)")
+    for name, value in sorted(active.items()):
+        print(f"  {name:<30} {value:>14,.0f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Observability exports and the metrics-regression surface.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    export_parser = subparsers.add_parser(
+        "export", help="run experiments and write trace/metrics/timeline artifacts"
+    )
+    export_parser.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: E-COST)"
+    )
+    export_parser.add_argument("--out", default="obs-artifacts", metavar="DIR")
+    export_parser.add_argument(
+        "--protocol",
+        default="cgma",
+        help="zoo protocol for the timeline artifacts (default: cgma)",
+    )
+    _add_run_options(export_parser)
+    export_parser.set_defaults(func=cmd_export)
+
+    baseline_parser = subparsers.add_parser(
+        "baseline", help="regenerate the committed metrics baseline"
+    )
+    baseline_parser.add_argument(
+        "experiments", nargs="*", help=f"experiment ids (default: {PINNED_EXPERIMENTS})"
+    )
+    baseline_parser.add_argument(
+        "--out", default=DEFAULT_BASELINE_PATH, metavar="PATH"
+    )
+    _add_run_options(baseline_parser)
+    baseline_parser.set_defaults(func=cmd_baseline)
+
+    diff_parser = subparsers.add_parser(
+        "diff", help="compare a fresh run against the committed baseline"
+    )
+    diff_parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    diff_parser.add_argument(
+        "--from",
+        dest="from_dir",
+        default=None,
+        metavar="DIR",
+        help="read --json artifacts from DIR instead of re-running",
+    )
+    diff_parser.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=DEFAULT_TIMING_TOLERANCE,
+        help="relative band for timings (default: %(default)s)",
+    )
+    diff_parser.add_argument(
+        "--strict-timings",
+        action="store_true",
+        help="timing drift outside the band fails the diff (default: advisory)",
+    )
+    _add_run_options(diff_parser)
+    diff_parser.set_defaults(func=cmd_diff)
+
+    report_parser = subparsers.add_parser(
+        "report", help="print the key cost counters, annotated against the baseline"
+    )
+    report_parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    report_parser.add_argument(
+        "--from", dest="from_dir", default=None, metavar="DIR"
+    )
+    _add_run_options(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,17 @@ class Metrics:
             histogram = self.histograms[name] = Histogram()
         histogram.observe(value)
 
+    def reset(self) -> None:
+        """Drop every counter and histogram (back to a fresh registry).
+
+        Long-lived registries need this: the fastpath ``STATS`` registry
+        survives warm-pool worker reuse, so callers measuring one
+        workload snapshot-and-reset around it instead of accumulating
+        counts from every run the process ever served.
+        """
+        self.counters.clear()
+        self.histograms.clear()
+
     def merge(self, other: "Metrics") -> None:
         """Fold another registry's counts into this one (for aggregation)."""
         for name, value in other.counters.items():

@@ -34,6 +34,15 @@ tracer = NOOP_TRACER
 #: The active metrics registry, or ``None`` when metrics are off.
 metrics: Optional[Metrics] = None
 
+#: The active flight recorder, or ``None`` when flight recording is off.
+#: Managed by :mod:`repro.obs.flightrec` (``enable``/``disable``/
+#: ``recording``); hooks guard on ``_obs.flightrec is not None`` exactly
+#: like the metrics hooks do.  Deliberately *not* part of
+#: :func:`install`/:func:`observed`: the recorder is a process-lifetime
+#: diagnostic ring, not a per-observation registry, so scoping a
+#: measurement must not silently discard the crash buffer.
+flightrec = None
+
 
 def install(
     new_tracer: Optional[Tracer] = None, new_metrics: Optional[Metrics] = None

@@ -60,24 +60,32 @@ class _SpanHandle:
         if exc_type is not None:
             attrs = dict(attrs)
             attrs["error"] = exc_type.__name__
-        tracer.records.append(
-            {
-                "type": "span",
-                "name": self.name,
-                "path": path,
-                "depth": len(tracer._stack),
-                "start": self._start,
-                "end": end,
-                "duration": end - self._start,
-                "attrs": jsonable(attrs),
-            }
-        )
+        record = {
+            "type": "span",
+            "name": self.name,
+            "path": path,
+            "depth": len(tracer._stack),
+            "start": self._start,
+            "end": end,
+            "duration": end - self._start,
+            "attrs": jsonable(attrs),
+        }
+        tracer.records.append(record)
+        tap = Tracer.flight_tap
+        if tap is not None:
+            tap.push_record(record)
 
 
 class Tracer:
     """Collects spans and events for one observed run."""
 
     enabled = True
+
+    #: When a :class:`repro.obs.flightrec.FlightRecorder` is enabled it
+    #: registers itself here, and every closed span / recorded event is
+    #: mirrored into its ring.  A class attribute (not an import) so the
+    #: tracer stays importable before the recorder module loads.
+    flight_tap = None
 
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._clock = clock or time.perf_counter
@@ -96,15 +104,17 @@ class Tracer:
 
     def event(self, name: str, **attrs: Any) -> None:
         """Record a point-in-time structured event inside the current span."""
-        self.records.append(
-            {
-                "type": "event",
-                "name": name,
-                "path": "/".join(self._stack),
-                "ts": self._now(),
-                "attrs": jsonable(attrs),
-            }
-        )
+        record = {
+            "type": "event",
+            "name": name,
+            "path": "/".join(self._stack),
+            "ts": self._now(),
+            "attrs": jsonable(attrs),
+        }
+        self.records.append(record)
+        tap = Tracer.flight_tap
+        if tap is not None:
+            tap.push_record(record)
 
     def fold(self, records: List[Dict[str, Any]]) -> None:
         """Graft records captured by *another* tracer under the current path.

@@ -27,7 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..obs import Metrics, Tracer
+from ..obs import Metrics, Tracer, flightrec as _flightrec
 from ..obs import runtime as _obs_runtime
 from . import warmup
 
@@ -55,16 +55,33 @@ class ShardOutcome:
     payload: Any
     metrics: Metrics = field(default_factory=Metrics)
     trace_records: List[Dict[str, Any]] = field(default_factory=list)
+    flight_records: List[Dict[str, Any]] = field(default_factory=list)
 
 
-def _run_shard(task: Tuple[Callable[..., Any], Tuple[Any, ...], bool]) -> ShardOutcome:
+def _run_shard(
+    task: Tuple[Callable[..., Any], Tuple[Any, ...], bool, bool]
+) -> ShardOutcome:
     """Worker entry point: run one task under a fresh observation scope."""
-    fn, args, trace = task
+    fn, args, trace, flight = task
     tracer = Tracer() if trace else None
+    flight_records: List[Dict[str, Any]] = []
     with _obs_runtime.observed(tracer=tracer, metrics=Metrics()) as (_, metrics):
-        payload = fn(*args)
+        if flight:
+            # The coordinator's recorder is on: give this shard its own
+            # ring (a fork child would otherwise append to an inherited
+            # copy nobody reads) and ship the buffer back for folding.
+            with _flightrec.recording(run_id=f"shard-pid{os.getpid()}") as recorder:
+                payload = fn(*args)
+            flight_records = recorder.snapshot()
+        else:
+            payload = fn(*args)
     records = list(tracer.records) if tracer is not None else []
-    return ShardOutcome(payload=payload, metrics=metrics, trace_records=records)
+    return ShardOutcome(
+        payload=payload,
+        metrics=metrics,
+        trace_records=records,
+        flight_records=flight_records,
+    )
 
 
 def _warm_worker(payload: Any) -> None:
@@ -131,15 +148,19 @@ class ExperimentEngine:
             return [fn(*args) for args in tasks]
 
         trace = _obs_runtime.tracer.enabled
-        shard_tasks = [(fn, tuple(args), trace) for args in tasks]
+        flight = _obs_runtime.flightrec is not None
+        shard_tasks = [(fn, tuple(args), trace, flight) for args in tasks]
         outcomes = list(self._ensure_pool().map(_run_shard, shard_tasks))
 
         ambient = _obs_runtime.metrics
+        recorder = _obs_runtime.flightrec
         for outcome in outcomes:
             if ambient is not None:
                 ambient.merge(outcome.metrics)
             if trace and outcome.trace_records:
                 _obs_runtime.tracer.fold(outcome.trace_records)
+            if recorder is not None and outcome.flight_records:
+                recorder.fold(outcome.flight_records)
         return [outcome.payload for outcome in outcomes]
 
     def __repr__(self) -> str:

@@ -24,10 +24,19 @@ def _conformance_rows():
 
 @pytest.fixture
 def conformance_log(_conformance_rows):
-    """Record one certified cell: ``log(protocol=..., plan=..., check=..., ok=...)``."""
+    """Record one certified cell: ``log(protocol=..., plan=..., check=..., ok=...)``.
+
+    A failing cell triggers a flight-recorder snapshot (when recording is
+    on — see :mod:`repro.obs.flightrec`), so the last rounds of traffic
+    that produced the violation land in ``results/flightrec_*.jsonl``
+    next to the conformance summary.
+    """
+    from repro.obs import flightrec
 
     def log(**row):
         _conformance_rows.append(dict(row))
+        if not row.get("ok", True):
+            flightrec.dump_if_active("conformance-check-failed", **row)
 
     return log
 

@@ -214,6 +214,24 @@ def test_fastpath_stats_stay_out_of_ambient_metrics():
     assert fastpath.stats()["counters"]  # ...but the local registry saw traffic
 
 
+def test_reset_stats_snapshots_then_clears():
+    """reset_stats() brackets one workload in a long-lived process: it
+    returns the pre-clear snapshot and empties only the counters — the
+    kernel caches (and their warmth) survive."""
+    _crypto_workload(16)
+    assert fastpath.stats()["counters"]
+    warm_caches = fastpath.cache_sizes()
+    before = fastpath.reset_stats()
+    assert before["counters"]  # the snapshot captured the traffic...
+    assert not fastpath.stats()["counters"]  # ...and the registry is clean
+    assert fastpath.cache_sizes() == warm_caches  # caches untouched
+    _crypto_workload(16)
+    bracketed = fastpath.stats()["counters"]
+    assert bracketed  # fresh traffic lands in the cleared registry
+    for name, value in bracketed.items():
+        assert value <= before["counters"].get(name, float("inf")) + value
+
+
 # -- scheduler bucketing -------------------------------------------------------------
 
 

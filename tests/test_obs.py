@@ -278,3 +278,145 @@ class TestEndToEnd:
         assert [r.messages for r in observed.rounds] == [
             r.messages for r in baseline.rounds
         ]
+
+
+class TestMergeFoldEdgeCases:
+    """Satellite coverage for the cross-process reduction paths: the
+    parallel engine folds worker registries into the coordinator's, so the
+    degenerate shapes (empty shards, partial counter sets, unbounded
+    histograms, deep span trees) must all merge exactly."""
+
+    def test_merge_empty_into_populated(self):
+        target = Metrics()
+        target.inc("a", 2)
+        target.observe("h", 1.0)
+        before = target.snapshot()
+        target.merge(Metrics())
+        assert target.snapshot() == before
+
+    def test_merge_populated_into_empty(self):
+        source = Metrics()
+        source.inc("a", 2)
+        source.observe("h", 1.0)
+        target = Metrics()
+        target.merge(source)
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_empty_into_empty(self):
+        target = Metrics()
+        target.merge(Metrics())
+        assert target.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_merge_mismatched_counter_sets(self):
+        left = Metrics()
+        left.inc("only.left", 1)
+        left.inc("shared", 2)
+        right = Metrics()
+        right.inc("only.right", 4)
+        right.inc("shared", 8)
+        left.merge(right)
+        assert left.counters == {"only.left": 1, "only.right": 4, "shared": 10}
+
+    def test_merge_histogram_with_unset_bounds(self):
+        # An empty histogram has min/max None; merging it either way must
+        # not clobber real bounds or invent fake zeros.
+        empty = Metrics()
+        empty.histograms["h"] = Histogram()
+        full = Metrics()
+        full.observe("h", -3.0)
+        full.observe("h", 7.0)
+        full.merge(empty)
+        assert full.histograms["h"].min == -3.0
+        assert full.histograms["h"].max == 7.0
+        assert full.histograms["h"].count == 2
+        empty.merge(full)
+        assert empty.histograms["h"].min == -3.0
+        assert empty.histograms["h"].max == 7.0
+
+    def test_merge_histogram_bounds_tighten(self):
+        left = Metrics()
+        left.observe("h", 5.0)
+        right = Metrics()
+        right.observe("h", -1.0)
+        right.observe("h", 11.0)
+        left.merge(right)
+        snap = left.histograms["h"].snapshot()
+        assert snap == {"count": 3, "sum": 15.0, "min": -1.0, "max": 11.0, "mean": 5.0}
+
+    def test_merge_is_associative_over_shards(self):
+        def shard(seed):
+            metrics = Metrics()
+            metrics.inc("ops", seed)
+            metrics.observe("h", float(seed))
+            return metrics
+
+        one_by_one = Metrics()
+        for seed in (1, 2, 3):
+            one_by_one.merge(shard(seed))
+        paired = Metrics()
+        left, right = shard(1), shard(2)
+        left.merge(right)
+        paired.merge(left)
+        paired.merge(shard(3))
+        assert one_by_one.snapshot() == paired.snapshot()
+
+    def test_reset_clears_everything(self):
+        metrics = Metrics()
+        metrics.inc("a", 3)
+        metrics.observe("h", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+        metrics.inc("a")
+        assert metrics.get("a") == 1
+
+    def test_fold_empty_records_is_noop(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.fold([])
+        assert len(tracer.records) == 1  # just the root span
+
+    def test_fold_into_empty_tracer_keeps_paths(self):
+        worker = Tracer()
+        with worker.span("trial"):
+            worker.event("tick")
+        coordinator = Tracer()
+        coordinator.fold(worker.records)
+        # Folding at the coordinator's root leaves worker paths untouched.
+        assert [r.get("path") for r in coordinator.records] == ["trial", "trial"]
+
+    def test_fold_reroots_deeply_nested_spans(self):
+        worker = Tracer()
+        with worker.span("a"):
+            with worker.span("b"):
+                with worker.span("c"):
+                    worker.event("leaf")
+        coordinator = Tracer()
+        with coordinator.span("experiment"):
+            with coordinator.span("shard"):
+                coordinator.fold(worker.records)
+        leaf = coordinator.events("leaf")[0]
+        assert leaf["path"] == "experiment/shard/a/b/c"
+        span_c = [r for r in coordinator.spans() if r["name"] == "c"][0]
+        assert span_c["depth"] == worker.spans("c")[0]["depth"] + 2
+        # Worker records at the worker's root land exactly at the
+        # coordinator's current path.
+        span_a = [r for r in coordinator.spans() if r["name"] == "a"][0]
+        assert span_a["path"] == "experiment/shard/a"
+
+    def test_fold_events_without_depth(self):
+        coordinator = Tracer()
+        with coordinator.span("root"):
+            coordinator.fold([{"type": "event", "name": "bare", "path": "", "ts": 0.0}])
+        folded = coordinator.events("bare")[0]
+        assert folded["path"] == "root"
+        assert "depth" not in folded
+
+    def test_fold_does_not_mutate_source_records(self):
+        worker = Tracer()
+        with worker.span("inner"):
+            pass
+        original = json.dumps(worker.records, sort_keys=True)
+        coordinator = Tracer()
+        with coordinator.span("outer"):
+            coordinator.fold(worker.records)
+        assert json.dumps(worker.records, sort_keys=True) == original
