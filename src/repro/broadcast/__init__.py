@@ -5,6 +5,7 @@ interactive-consistency parallel composition of Pease et al. [18].
 """
 
 from .base import DEFAULT_VALUE, SingleSenderBroadcast
+from .bracha import BrachaBroadcast, bracha_rbc
 from .dolev_strong import DolevStrongBroadcast, dolev_strong
 from .emulation import OverPointToPoint
 from .eig import EIGBroadcast, eig_broadcast
@@ -22,6 +23,8 @@ __all__ = [
     "SingleSenderBroadcast",
     "IdealBroadcast",
     "ideal_broadcast",
+    "BrachaBroadcast",
+    "bracha_rbc",
     "DolevStrongBroadcast",
     "dolev_strong",
     "OverPointToPoint",

@@ -77,6 +77,29 @@ def main(argv=None) -> int:
         " top functions by cumulative time to PROFILE.txt next to the --json"
         " artifacts (or the working directory)",
     )
+    parser.add_argument(
+        "--runtime",
+        choices=["lockstep", "event"],
+        default=None,
+        help="network runtime driving every protocol execution (default:"
+        " lockstep, or the REPRO_RUNTIME environment variable); 'event' uses"
+        " the deterministic discrete-event clock",
+    )
+    parser.add_argument(
+        "--delay-model",
+        metavar="SPEC",
+        default=None,
+        help="event-runtime delay model, e.g. 'constant:1', 'uniform:0.5,1.5',"
+        " 'exponential:1.0', or 'rush:uniform:0.5,1.5' (default:"
+        " rush:constant:1, which reproduces lockstep exactly)",
+    )
+    parser.add_argument(
+        "--omission",
+        metavar="SPEC",
+        default=None,
+        help="event-runtime omission policy, e.g. 'drop-all:1',"
+        " 'drop-edges:1-2,3-4', or 'random:0.05'",
+    )
     parser.add_argument("--scale", type=float, default=1.0, help="sample-size scale factor")
     parser.add_argument("--n", type=int, default=5, help="number of parties")
     parser.add_argument("--t", type=int, default=2, help="corruption bound")
@@ -115,12 +138,29 @@ def main(argv=None) -> int:
         except (OSError, ValueError, KeyError) as exc:
             parser.error(f"--faults {args.faults!r} is not a readable plan: {exc}")
 
+    from ..errors import InvalidParameterError
+    from ..net.runtime import ENV_DELAY_MODEL, ENV_OMISSION, ENV_RUNTIME, resolve_runtime
+
+    try:
+        runtime_config = resolve_runtime(args.runtime, args.delay_model, args.omission)
+    except InvalidParameterError as exc:
+        parser.error(str(exc))
+    # Apply the choice through the environment: run_protocol consults it at
+    # every call site, and the parallel engine ships it to pool shards.
+    if args.runtime is not None:
+        os.environ[ENV_RUNTIME] = args.runtime
+    if args.delay_model is not None:
+        os.environ[ENV_DELAY_MODEL] = args.delay_model
+    if args.omission is not None:
+        os.environ[ENV_OMISSION] = args.omission
+
     config = ExperimentConfig(
         n=args.n,
         t=args.t,
         seed=args.seed,
         scale=args.scale,
         fault_plan=fault_plan,
+        runtime=runtime_config.kind,
     )
     experiment_ids = args.experiments or list(REGISTRY)
     if args.profile:

@@ -5,9 +5,27 @@ See DESIGN.md §3 and the paper's Section 3.1.  The key entry point is
 """
 
 from .adversary import Adversary, PassiveAdversary, ProgramAdversary
+from .event import EventScheduler
 from .message import BROADCAST, Draft, Inbox, Message, RoundRecord, broadcast, send
 from .network import run_protocol
 from .party import PartyContext, PartyState, make_party_rngs
+from .runtime import (
+    ConstantDelay,
+    DelayModel,
+    DropAll,
+    DropEdges,
+    EventClock,
+    ExponentialDelay,
+    NoOmission,
+    OmissionPolicy,
+    RandomDrop,
+    RushDelay,
+    RuntimeConfig,
+    UniformDelay,
+    delay_model_from_spec,
+    omission_from_spec,
+    resolve_runtime,
+)
 from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
 from .transcript import Execution
 
@@ -28,5 +46,21 @@ __all__ = [
     "make_party_rngs",
     "DEFAULT_MAX_ROUNDS",
     "Scheduler",
+    "EventScheduler",
     "Execution",
+    "RuntimeConfig",
+    "resolve_runtime",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "RushDelay",
+    "EventClock",
+    "OmissionPolicy",
+    "NoOmission",
+    "DropAll",
+    "DropEdges",
+    "RandomDrop",
+    "delay_model_from_spec",
+    "omission_from_spec",
 ]

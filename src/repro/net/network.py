@@ -9,7 +9,8 @@ from typing import Any, Optional, Sequence
 from ..obs import flightrec as _flightrec
 from ..obs import runtime as _obs
 from .adversary import Adversary
-from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler
+from .runtime import resolve_runtime, scheduler_class
+from .scheduler import DEFAULT_MAX_ROUNDS
 from .transcript import Execution
 
 logger = logging.getLogger(__name__)
@@ -30,6 +31,10 @@ def run_protocol(
     fault_seed: Optional[int] = None,
     timeout_rounds: Optional[int] = None,
     timeout_output: Any = None,
+    runtime: Any = None,
+    delay_model: Any = None,
+    omission: Any = None,
+    max_events: Optional[int] = None,
 ) -> Execution:
     """Run ``protocol`` once and return the full :class:`Execution`.
 
@@ -62,7 +67,25 @@ def run_protocol(
             of aborting the run with :class:`NetworkError`.
         timeout_output: the degraded output (a value, or a callable of the
             party id); protocols pass the paper's default bit vector.
+        runtime: which :mod:`repro.net.runtime` engine drives the run —
+            ``"lockstep"`` (the paper's synchronous rounds, the default),
+            ``"event"`` (the deterministic discrete-event clock), or a
+            resolved :class:`repro.net.runtime.RuntimeConfig`.  ``None``
+            consults the ``REPRO_RUNTIME`` environment variable, which is
+            how the CI runtime matrix re-runs every test under both
+            engines.
+        delay_model: event-runtime message timing — a
+            :class:`repro.net.runtime.DelayModel` or a spec string such as
+            ``"uniform:0.5,1.5"``; defaults to ``RushDelay(ConstantDelay(1))``,
+            which makes the event engine reproduce lockstep exactly.
+        omission: event-runtime loss policy (an
+            :class:`repro.net.runtime.OmissionPolicy` or spec string such
+            as ``"drop-all:1"``).
+        max_events: event-runtime delivery budget — the event-count
+            generalization of ``max_rounds``; exceeding it raises
+            :class:`NetworkError` after a flight-recorder dump.
     """
+    runtime_config = resolve_runtime(runtime, delay_model, omission, max_events)
     effective_seed: Optional[int] = seed
     defaulted = False
     if rng is None:
@@ -91,6 +114,7 @@ def run_protocol(
             protocol=type(protocol).__name__,
             session=session or type(protocol).__name__,
             seed=effective_seed,
+            runtime=runtime_config.kind,
         )
     if adversary is None:
         adversary = Adversary(corrupted=())
@@ -102,7 +126,7 @@ def run_protocol(
         salt = fault_seed if fault_seed is not None else rng.getrandbits(64)
         injector = FaultInjector(fault_plan, salt=salt)
     config = protocol.setup(rng)
-    scheduler = Scheduler(
+    scheduler_kwargs = dict(
         n=protocol.n,
         program_factory=protocol.program,
         inputs=inputs,
@@ -116,6 +140,13 @@ def run_protocol(
         timeout_rounds=timeout_rounds,
         timeout_output=timeout_output,
     )
+    if runtime_config.kind == "event":
+        scheduler_kwargs.update(
+            delay_model=runtime_config.resolved_delay_model(),
+            omission=runtime_config.omission,
+            max_events=runtime_config.max_events,
+        )
+    scheduler = scheduler_class(runtime_config.kind)(**scheduler_kwargs)
     try:
         return scheduler.run()
     except Exception as exc:

@@ -1,0 +1,484 @@
+"""The pluggable network-runtime seam (ROADMAP item 1).
+
+Every protocol execution is driven by a *runtime*: a scheduler class plus
+a message-timing policy.  Two runtimes exist:
+
+* ``"lockstep"`` — the original synchronous round engine of
+  :mod:`repro.net.scheduler`, unchanged and bit-identical to the seed
+  implementation.  One round of latency on every channel, rushing
+  delivery to corrupted parties.
+* ``"event"`` — the deterministic discrete-event engine of
+  :mod:`repro.net.event`.  Message latencies are drawn per channel edge
+  from a seeded :class:`EventClock` stream according to a
+  :class:`DelayModel`; deliveries may be reordered, dropped by an
+  :class:`OmissionPolicy`, and batched by arrival time.  No wall time is
+  ever read, so a run is an exact function of ``(seed, delay model,
+  omission policy)`` and replays are bit-identical.
+
+The paper's rushing adversary is *one point* in this delay-model space:
+:class:`RushDelay` gives honest→corrupted edges zero latency (the
+adversary hears the current batch's honest traffic before corrupted
+parties speak) and every other edge the base model's latency.  With
+``RushDelay(ConstantDelay(1))`` — the event runtime's default — the
+event engine degenerates to exactly the lockstep semantics, which is the
+equivalence the property suite in ``tests/test_net_runtime_properties.py``
+pins down.
+
+Selection: :func:`run_protocol` takes ``runtime=``/``delay_model=``/
+``omission=`` keywords; with no explicit choice the ``REPRO_RUNTIME``,
+``REPRO_DELAY_MODEL`` and ``REPRO_OMISSION`` environment variables are
+consulted (this is how the CI runtime matrix re-runs the whole tier-1
+suite under both engines), defaulting to lockstep.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+
+#: Environment variables consulted when no explicit runtime is passed.
+ENV_RUNTIME = "REPRO_RUNTIME"
+ENV_DELAY_MODEL = "REPRO_DELAY_MODEL"
+ENV_OMISSION = "REPRO_OMISSION"
+
+#: The runtime registry: kind -> (module, scheduler class name).
+RUNTIMES: Dict[str, Tuple[str, str]] = {
+    "lockstep": ("repro.net.scheduler", "Scheduler"),
+    "event": ("repro.net.event", "EventScheduler"),
+}
+
+#: Smallest latency a non-rushed edge may have: delivery strictly after
+#: the sending batch, so a pathological model cannot stall the clock.
+MIN_EDGE_DELAY = 1e-9
+
+
+def _mix_edge_seed(seed: int, sender: int, recipient: int) -> int:
+    """A stable 64-bit stream seed for one directed channel edge."""
+    value = (seed or 0) & 0xFFFFFFFFFFFFFFFF
+    value = (value * 0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019) & 0xFFFFFFFFFFFFFFFF
+    value ^= (sender * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= (recipient * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+# -- delay models -------------------------------------------------------------------
+
+
+class DelayModel:
+    """Per-edge message latency policy for the event runtime.
+
+    ``edge_delay`` draws one latency (in abstract ticks — never wall
+    time) from the edge's seeded stream; ``rushes`` marks edges that
+    deliver *instantly within the sending batch*, which is how the
+    paper's rushing advantage is expressed as a timing policy.
+    """
+
+    name = "abstract"
+
+    def edge_delay(self, sender: int, recipient: int, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def rushes(self, sender: int, recipient: int, corrupted: frozenset) -> bool:
+        return False
+
+    def spec(self) -> Dict[str, Any]:
+        return {"model": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+class ConstantDelay(DelayModel):
+    """Every edge delivers after exactly ``ticks`` (default: one round)."""
+
+    name = "constant"
+
+    def __init__(self, ticks: float = 1.0):
+        if ticks <= 0:
+            raise InvalidParameterError("constant delay must be positive")
+        self.ticks = float(ticks)
+
+    def edge_delay(self, sender, recipient, rng):
+        return self.ticks
+
+    def spec(self):
+        return {"model": self.name, "ticks": self.ticks}
+
+
+class UniformDelay(DelayModel):
+    """Latency drawn uniformly from ``[low, high]`` per message edge."""
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if low < 0 or high < low:
+            raise InvalidParameterError(
+                f"uniform delay needs 0 <= low <= high, got [{low}, {high}]"
+            )
+        self.low = float(low)
+        self.high = float(high)
+
+    def edge_delay(self, sender, recipient, rng):
+        return rng.uniform(self.low, self.high)
+
+    def spec(self):
+        return {"model": self.name, "low": self.low, "high": self.high}
+
+
+class ExponentialDelay(DelayModel):
+    """Memoryless latency with the given ``mean`` (partial synchrony's tail)."""
+
+    name = "exponential"
+
+    def __init__(self, mean: float = 1.0):
+        if mean <= 0:
+            raise InvalidParameterError("exponential delay needs a positive mean")
+        self.mean = float(mean)
+
+    def edge_delay(self, sender, recipient, rng):
+        return rng.expovariate(1.0 / self.mean)
+
+    def spec(self):
+        return {"model": self.name, "mean": self.mean}
+
+
+class RushDelay(DelayModel):
+    """The rushing adversary as a delay model.
+
+    Honest→corrupted edges deliver instantly (latency zero, *within* the
+    sending batch, before the adversary chooses corrupted messages);
+    every other edge — honest→honest, corrupted→anyone — pays the base
+    model's latency, i.e. the adversary's own edges deliver last.  With a
+    :class:`ConstantDelay` base this reproduces the lockstep scheduler's
+    Section 3.1 semantics exactly.
+    """
+
+    name = "rush"
+
+    def __init__(self, base: Optional[DelayModel] = None):
+        self.base = base if base is not None else ConstantDelay(1.0)
+
+    def edge_delay(self, sender, recipient, rng):
+        return self.base.edge_delay(sender, recipient, rng)
+
+    def rushes(self, sender, recipient, corrupted):
+        return recipient in corrupted and sender not in corrupted
+
+    def spec(self):
+        return {"model": self.name, "base": self.base.spec()}
+
+
+#: Delay-model constructors by name, for CLI / environment specs.
+DELAY_MODELS = {
+    "constant": ConstantDelay,
+    "uniform": UniformDelay,
+    "exponential": ExponentialDelay,
+    "rush": RushDelay,
+}
+
+
+def delay_model_from_spec(spec: Any) -> Optional[DelayModel]:
+    """Parse ``"uniform:0.5,1.5"`` / ``"rush"`` / ``None`` / a DelayModel.
+
+    ``rush`` wraps the remaining spec as its base model, so
+    ``"rush:uniform:0.5,1.5"`` is a rushing adversary over jittery links.
+    """
+    if spec is None or isinstance(spec, DelayModel):
+        return spec
+    text = str(spec).strip()
+    if not text:
+        return None
+    head, _, rest = text.partition(":")
+    head = head.lower()
+    if head not in DELAY_MODELS:
+        raise InvalidParameterError(
+            f"unknown delay model {head!r}; known: {sorted(DELAY_MODELS)}"
+        )
+    if head == "rush":
+        return RushDelay(delay_model_from_spec(rest) if rest else None)
+    if not rest:
+        return DELAY_MODELS[head]()
+    try:
+        args = [float(part) for part in rest.split(",") if part.strip()]
+    except ValueError as exc:
+        raise InvalidParameterError(f"bad delay-model args {rest!r}: {exc}") from None
+    return DELAY_MODELS[head](*args)
+
+
+# -- omission policies --------------------------------------------------------------
+
+
+class OmissionPolicy:
+    """Which scheduled deliveries are silently lost in the event runtime."""
+
+    name = "abstract"
+
+    def omits(self, sender: int, recipient: int, message: Any, rng: random.Random) -> bool:
+        return False
+
+    def spec(self) -> Dict[str, Any]:
+        return {"policy": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+class NoOmission(OmissionPolicy):
+    name = "none"
+
+
+class DropAll(OmissionPolicy):
+    """Omit every message *sent by* the given parties (a send-omission fault)."""
+
+    name = "drop-all"
+
+    def __init__(self, parties):
+        if isinstance(parties, int):
+            parties = (parties,)
+        self.parties = frozenset(int(p) for p in parties)
+
+    def omits(self, sender, recipient, message, rng):
+        return sender in self.parties
+
+    def spec(self):
+        return {"policy": self.name, "parties": sorted(self.parties)}
+
+
+class DropEdges(OmissionPolicy):
+    """Omit traffic on specific directed ``(sender, recipient)`` edges."""
+
+    name = "drop-edges"
+
+    def __init__(self, edges):
+        self.edges = frozenset((int(s), int(r)) for s, r in edges)
+
+    def omits(self, sender, recipient, message, rng):
+        return (sender, recipient) in self.edges
+
+    def spec(self):
+        return {"policy": self.name, "edges": sorted(self.edges)}
+
+
+class RandomDrop(OmissionPolicy):
+    """Omit each delivery independently with the given probability.
+
+    Draws come from the delivery edge's seeded clock stream, so the drop
+    pattern replays exactly with the run.
+    """
+
+    name = "random"
+
+    def __init__(self, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise InvalidParameterError("drop probability must be in [0, 1]")
+        self.probability = float(probability)
+
+    def omits(self, sender, recipient, message, rng):
+        return rng.random() < self.probability
+
+    def spec(self):
+        return {"policy": self.name, "probability": self.probability}
+
+
+def omission_from_spec(spec: Any) -> Optional[OmissionPolicy]:
+    """Parse ``"drop-all:1"`` / ``"drop-edges:1-2,3-4"`` / ``"random:0.1"``."""
+    if spec is None or isinstance(spec, OmissionPolicy):
+        return spec
+    text = str(spec).strip()
+    if not text or text.lower() == "none":
+        return None
+    head, _, rest = text.partition(":")
+    head = head.lower()
+    if head == "drop-all":
+        return DropAll(int(part) for part in rest.split(",") if part.strip())
+    if head == "drop-edges":
+        edges = []
+        for part in rest.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            s, _, r = part.partition("-")
+            edges.append((int(s), int(r)))
+        return DropEdges(edges)
+    if head == "random":
+        return RandomDrop(float(rest))
+    raise InvalidParameterError(
+        f"unknown omission policy {head!r}; known: drop-all, drop-edges, random"
+    )
+
+
+# -- the deterministic discrete-event clock -----------------------------------------
+
+
+class EventClock:
+    """A discrete-event clock with seeded per-edge randomness and no wall time.
+
+    Events are ordered by ``(time, insertion sequence)`` — the sequence
+    number makes simultaneous deliveries pop in schedule order, so the
+    whole event history is a pure function of the clock seed and the
+    schedule calls.  Each directed channel edge ``(sender, recipient)``
+    owns an independent RNG stream derived from the clock seed, so one
+    edge's delay draws can never perturb another's.
+    """
+
+    __slots__ = ("seed", "now", "_heap", "_sequence", "_edge_rngs")
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = int(seed or 0)
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._sequence = 0
+        self._edge_rngs: Dict[Tuple[int, int], random.Random] = {}
+
+    def edge_rng(self, sender: int, recipient: int) -> random.Random:
+        """The RNG stream owned by the directed edge ``sender -> recipient``."""
+        key = (sender, recipient)
+        rng = self._edge_rngs.get(key)
+        if rng is None:
+            rng = random.Random(_mix_edge_seed(self.seed, sender, recipient))
+            self._edge_rngs[key] = rng
+        return rng
+
+    def schedule(self, delay: float, item: Any) -> float:
+        """Enqueue ``item`` for ``now + delay``; returns the arrival time."""
+        arrival = self.now + max(float(delay), MIN_EDGE_DELAY)
+        heapq.heappush(self._heap, (arrival, self._sequence, item))
+        self._sequence += 1
+        return arrival
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def tick(self, ticks: float = 1.0) -> float:
+        """Advance time with no deliveries (a silent batch)."""
+        self.now += ticks
+        return self.now
+
+    def advance(self) -> Optional[Tuple[float, List[Any]]]:
+        """Pop every event at the next occupied instant, advancing ``now``.
+
+        Returns ``(time, items)`` in schedule order, or ``None`` when the
+        queue is empty.
+        """
+        if not self._heap:
+            return None
+        time, _, item = heapq.heappop(self._heap)
+        batch = [item]
+        while self._heap and self._heap[0][0] == time:
+            batch.append(heapq.heappop(self._heap)[2])
+        self.now = time
+        return time, batch
+
+
+# -- runtime selection --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One fully resolved runtime choice, shippable to pool workers."""
+
+    kind: str = "lockstep"
+    delay_model: Optional[DelayModel] = None
+    omission: Optional[OmissionPolicy] = None
+    max_events: Optional[int] = None
+
+    def resolved_delay_model(self) -> DelayModel:
+        """The event runtime's default timing: the paper's rushing round."""
+        return self.delay_model if self.delay_model is not None else RushDelay()
+
+    def spec(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"runtime": self.kind}
+        if self.delay_model is not None:
+            out["delay_model"] = self.delay_model.spec()
+        if self.omission is not None:
+            out["omission"] = self.omission.spec()
+        if self.max_events is not None:
+            out["max_events"] = self.max_events
+        return out
+
+
+def capture_runtime_env() -> Dict[str, str]:
+    """Snapshot the runtime-selection environment variables.
+
+    The parallel engine captures this at ``map()`` submission and ships
+    it with every shard task, so workers resolve the *coordinator's*
+    runtime even under the ``spawn`` start method (where a worker's
+    environment is whatever the OS hands a fresh interpreter).
+    """
+    return {
+        key: os.environ[key]
+        for key in (ENV_RUNTIME, ENV_DELAY_MODEL, ENV_OMISSION)
+        if key in os.environ
+    }
+
+
+def apply_runtime_env(env: Dict[str, str]) -> None:
+    """Install a captured runtime environment in a worker process."""
+    for key in (ENV_RUNTIME, ENV_DELAY_MODEL, ENV_OMISSION):
+        if key in env:
+            os.environ[key] = env[key]
+        else:
+            os.environ.pop(key, None)
+
+
+def resolve_runtime(
+    runtime: Any = None,
+    delay_model: Any = None,
+    omission: Any = None,
+    max_events: Optional[int] = None,
+) -> RuntimeConfig:
+    """Normalize the caller's runtime choice into a :class:`RuntimeConfig`.
+
+    ``runtime`` may be a :class:`RuntimeConfig` (returned as-is), a kind
+    string, or ``None`` — in which case ``REPRO_RUNTIME`` (and, for the
+    event runtime, ``REPRO_DELAY_MODEL`` / ``REPRO_OMISSION``) decide,
+    defaulting to lockstep.  Explicit ``delay_model`` / ``omission``
+    arguments require the event runtime: the lockstep engine's timing is
+    fixed by the paper's model, and silently ignoring a requested delay
+    distribution would misreport what was simulated.
+    """
+    if isinstance(runtime, RuntimeConfig):
+        return runtime
+    from_env = runtime is None
+    kind = (runtime if runtime is not None else os.environ.get(ENV_RUNTIME, "lockstep"))
+    kind = str(kind).strip().lower() or "lockstep"
+    if kind not in RUNTIMES:
+        raise InvalidParameterError(
+            f"unknown runtime {kind!r}; known: {sorted(RUNTIMES)}"
+        )
+    model = delay_model_from_spec(delay_model)
+    policy = omission_from_spec(omission)
+    if kind == "event" and from_env:
+        if model is None:
+            model = delay_model_from_spec(os.environ.get(ENV_DELAY_MODEL))
+        if policy is None:
+            policy = omission_from_spec(os.environ.get(ENV_OMISSION))
+    if kind != "event" and (model is not None or policy is not None or max_events is not None):
+        raise InvalidParameterError(
+            "delay_model/omission/max_events require runtime='event'; "
+            "the lockstep runtime's timing is fixed by the paper's model"
+        )
+    return RuntimeConfig(kind=kind, delay_model=model, omission=policy, max_events=max_events)
+
+
+def scheduler_class(kind: str):
+    """The scheduler class registered for one runtime kind (lazy import)."""
+    try:
+        module_name, class_name = RUNTIMES[kind]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown runtime {kind!r}; known: {sorted(RUNTIMES)}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), class_name)

@@ -69,7 +69,18 @@ def bucket_by_recipient(
 
 
 class Scheduler:
-    """Drives one protocol execution to completion."""
+    """Drives one protocol execution to completion.
+
+    This is the **lockstep runtime** of the :mod:`repro.net.runtime` seam:
+    the registry entry ``"lockstep"`` resolves here, and the discrete-event
+    engine (:class:`repro.net.event.EventScheduler`) subclasses it so both
+    runtimes share party construction, adversary validation, observability
+    hooks, and finalization — the RNG-derivation order in ``__init__`` is
+    part of the determinism contract and must not change.
+    """
+
+    #: Recorded on the returned :class:`Execution` (the runtime seam's tag).
+    runtime_name = "lockstep"
 
     def __init__(
         self,
@@ -154,9 +165,7 @@ class Scheduler:
             return execution
 
     def _run_rounds(self) -> Execution:
-        tracer = _obs.tracer
         metrics = _obs.metrics
-        flight = _obs.flightrec
         rounds: List[RoundRecord] = []
         # Messages sent in the previous round, keyed by recipient.
         pending: Dict[int, List[Message]] = {i: [] for i in range(1, self.n + 1)}
@@ -173,33 +182,7 @@ class Scheduler:
             round_number += 1
             if self.timeout_rounds is not None and round_number > self.timeout_rounds:
                 timed_out = True
-                if metrics is not None:
-                    metrics.inc("net.timeouts")
-                if tracer.enabled:
-                    tracer.event(
-                        "scheduler.timeout",
-                        round=round_number,
-                        unfinished=[
-                            i for i, s in self._honest.items() if not s.finished
-                        ],
-                    )
-                if flight is not None:
-                    unfinished = [
-                        i for i, s in self._honest.items() if not s.finished
-                    ]
-                    flight.push(
-                        "scheduler.timeout",
-                        round=round_number,
-                        session=self.session,
-                        unfinished=unfinished,
-                    )
-                    _flightrec.dump_if_active(
-                        "timeout",
-                        session=self.session,
-                        round=round_number,
-                        timeout_rounds=self.timeout_rounds,
-                        unfinished=unfinished,
-                    )
+                self._note_timeout(round_number)
                 break
             if round_number > self.max_rounds:
                 raise NetworkError(
@@ -237,68 +220,14 @@ class Scheduler:
             }
 
             corrupted_outboxes = self.adversary.act(round_number, rushed)
-            corrupted_traffic: List[Message] = []
-            for i, drafts in corrupted_outboxes.items():
-                if i not in self.adversary.corrupted:
-                    raise ProtocolError(
-                        f"adversary produced messages for uncorrupted party {i}"
-                    )
-                for draft in drafts or []:
-                    if isinstance(draft, Message):
-                        # Allow adversaries to forge sender fields only among
-                        # corrupted identities (channels are authenticated).
-                        if draft.sender not in self.adversary.corrupted:
-                            raise ProtocolError(
-                                "adversary tried to forge an honest sender"
-                            )
-                        corrupted_traffic.append(draft)
-                    elif isinstance(draft, Draft):
-                        corrupted_traffic.append(draft.stamped(i))
-                    else:
-                        raise ProtocolError(
-                            f"adversary yielded {type(draft).__name__}"
-                        )
+            corrupted_traffic = self._collect_corrupted_traffic(corrupted_outboxes)
 
             traffic = honest_traffic + corrupted_traffic
             self.adversary.observe(round_number, traffic)
             rounds.append(RoundRecord(round=round_number, messages=traffic))
             started = True
 
-            if metrics is not None:
-                metrics.inc("net.rounds")
-                metrics.inc("net.messages.sent", len(traffic))
-                metrics.inc("net.messages.honest", len(honest_traffic))
-                metrics.inc("net.messages.corrupted", len(corrupted_traffic))
-                round_bytes = 0
-                for message in traffic:
-                    size = payload_size(message.payload)
-                    round_bytes += size
-                    metrics.inc(f"net.messages.sent.party.{message.sender}")
-                    metrics.inc(f"net.bytes.sent.party.{message.sender}", size)
-                    if message.is_broadcast:
-                        metrics.inc("net.messages.broadcast")
-                metrics.inc("net.bytes.sent", round_bytes)
-                metrics.observe("net.round.messages", len(traffic))
-                metrics.observe("net.round.bytes", round_bytes)
-            if tracer.enabled:
-                tracer.event(
-                    "scheduler.round",
-                    round=round_number,
-                    messages=len(traffic),
-                    honest=len(honest_traffic),
-                    corrupted=len(corrupted_traffic),
-                )
-            if flight is not None:
-                for message in traffic:
-                    flight.record_message(round_number, message)
-                flight.push(
-                    "round",
-                    round=round_number,
-                    session=self.session,
-                    messages=len(traffic),
-                    honest=len(honest_traffic),
-                    corrupted=len(corrupted_traffic),
-                )
+            self._observe_round(round_number, traffic, honest_traffic, corrupted_traffic)
 
             # 3. Buffer everything for next-round delivery.
             pending = {i: [] for i in range(1, self.n + 1)}
@@ -326,6 +255,127 @@ class Scheduler:
             if all(state.finished for state in self._honest.values()):
                 break
 
+        return self._finalize(rounds, timed_out)
+
+    # -- helpers shared by both runtimes ---------------------------------------
+
+    def _note_timeout(self, round_number: int) -> None:
+        """Record a graceful deadline hit (metrics, trace, flight recorder)."""
+        metrics = _obs.metrics
+        tracer = _obs.tracer
+        flight = _obs.flightrec
+        if metrics is not None:
+            metrics.inc("net.timeouts")
+        if tracer.enabled:
+            tracer.event(
+                "scheduler.timeout",
+                round=round_number,
+                unfinished=[
+                    i for i, s in self._honest.items() if not s.finished
+                ],
+            )
+        if flight is not None:
+            unfinished = [
+                i for i, s in self._honest.items() if not s.finished
+            ]
+            flight.push(
+                "scheduler.timeout",
+                round=round_number,
+                session=self.session,
+                unfinished=unfinished,
+            )
+            _flightrec.dump_if_active(
+                "timeout",
+                session=self.session,
+                round=round_number,
+                timeout_rounds=self.timeout_rounds,
+                unfinished=unfinished,
+            )
+
+    def _collect_corrupted_traffic(self, corrupted_outboxes) -> List[Message]:
+        """Validate and stamp the adversary's outboxes for one round."""
+        corrupted_traffic: List[Message] = []
+        for i, drafts in corrupted_outboxes.items():
+            if i not in self.adversary.corrupted:
+                raise ProtocolError(
+                    f"adversary produced messages for uncorrupted party {i}"
+                )
+            for draft in drafts or []:
+                if isinstance(draft, Message):
+                    # Allow adversaries to forge sender fields only among
+                    # corrupted identities (channels are authenticated).
+                    if draft.sender not in self.adversary.corrupted:
+                        raise ProtocolError(
+                            "adversary tried to forge an honest sender"
+                        )
+                    corrupted_traffic.append(draft)
+                elif isinstance(draft, Draft):
+                    corrupted_traffic.append(draft.stamped(i))
+                else:
+                    raise ProtocolError(
+                        f"adversary yielded {type(draft).__name__}"
+                    )
+        return corrupted_traffic
+
+    def _observe_round(
+        self,
+        round_number: int,
+        traffic: Sequence[Message],
+        honest_traffic: Sequence[Message],
+        corrupted_traffic: Sequence[Message],
+        **extra,
+    ) -> None:
+        """Fold one round (or event batch) into metrics/trace/flight records.
+
+        ``extra`` fields travel with the flight-recorder summary — the
+        event runtime adds its batch time and delivery count, turning the
+        round summary into an event-batch summary without changing the
+        record kind tooling keys on.
+        """
+        metrics = _obs.metrics
+        tracer = _obs.tracer
+        flight = _obs.flightrec
+        if metrics is not None:
+            metrics.inc("net.rounds")
+            metrics.inc("net.messages.sent", len(traffic))
+            metrics.inc("net.messages.honest", len(honest_traffic))
+            metrics.inc("net.messages.corrupted", len(corrupted_traffic))
+            round_bytes = 0
+            for message in traffic:
+                size = payload_size(message.payload)
+                round_bytes += size
+                metrics.inc(f"net.messages.sent.party.{message.sender}")
+                metrics.inc(f"net.bytes.sent.party.{message.sender}", size)
+                if message.is_broadcast:
+                    metrics.inc("net.messages.broadcast")
+            metrics.inc("net.bytes.sent", round_bytes)
+            metrics.observe("net.round.messages", len(traffic))
+            metrics.observe("net.round.bytes", round_bytes)
+        if tracer.enabled:
+            tracer.event(
+                "scheduler.round",
+                round=round_number,
+                messages=len(traffic),
+                honest=len(honest_traffic),
+                corrupted=len(corrupted_traffic),
+                **extra,
+            )
+        if flight is not None:
+            for message in traffic:
+                flight.record_message(round_number, message)
+            flight.push(
+                "round",
+                round=round_number,
+                session=self.session,
+                messages=len(traffic),
+                honest=len(honest_traffic),
+                corrupted=len(corrupted_traffic),
+                **extra,
+            )
+
+    def _finalize(self, rounds: List[RoundRecord], timed_out: bool) -> Execution:
+        """Collect outputs (applying the timeout fallback) into an Execution."""
+        metrics = _obs.metrics
         outputs = {}
         for i, state in self._honest.items():
             if state.finished or not timed_out:
@@ -354,4 +404,5 @@ class Scheduler:
             seed=self.seed,
             faults=faults,
             timed_out=timed_out,
+            runtime=self.runtime_name,
         )

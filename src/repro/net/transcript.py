@@ -49,6 +49,14 @@ class Execution:
     Parties still running at the deadline were finalized with the
     protocol's default output instead of raising :class:`NetworkError`.
     """
+    runtime: str = "lockstep"
+    """Which :mod:`repro.net.runtime` engine drove the run.
+
+    ``"lockstep"`` for the synchronous round scheduler; ``"event"`` for
+    the discrete-event engine, in which case each :class:`RoundRecord`
+    is one *event batch* (all messages sent at one clock instant) rather
+    than a synchronous round.
+    """
 
     @property
     def honest(self) -> List[int]:

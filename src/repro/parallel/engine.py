@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..net.runtime import apply_runtime_env, capture_runtime_env
 from ..obs import Metrics, Tracer, flightrec as _flightrec
 from ..obs import runtime as _obs_runtime
 from . import warmup
@@ -59,10 +60,13 @@ class ShardOutcome:
 
 
 def _run_shard(
-    task: Tuple[Callable[..., Any], Tuple[Any, ...], bool, bool]
+    task: Tuple[Callable[..., Any], Tuple[Any, ...], bool, bool, Dict[str, str]]
 ) -> ShardOutcome:
     """Worker entry point: run one task under a fresh observation scope."""
-    fn, args, trace, flight = task
+    fn, args, trace, flight, runtime_env = task
+    # Shards must resolve the same network runtime the coordinator would:
+    # explicit under fork, essential under spawn (fresh environment).
+    apply_runtime_env(runtime_env)
     tracer = Tracer() if trace else None
     flight_records: List[Dict[str, Any]] = []
     with _obs_runtime.observed(tracer=tracer, metrics=Metrics()) as (_, metrics):
@@ -149,7 +153,10 @@ class ExperimentEngine:
 
         trace = _obs_runtime.tracer.enabled
         flight = _obs_runtime.flightrec is not None
-        shard_tasks = [(fn, tuple(args), trace, flight) for args in tasks]
+        runtime_env = capture_runtime_env()
+        shard_tasks = [
+            (fn, tuple(args), trace, flight, runtime_env) for args in tasks
+        ]
         outcomes = list(self._ensure_pool().map(_run_shard, shard_tasks))
 
         ambient = _obs_runtime.metrics

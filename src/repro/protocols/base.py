@@ -74,6 +74,9 @@ class ParallelBroadcastProtocol:
         fault_plan: Any = None,
         fault_seed: Optional[int] = None,
         timeout_rounds: Optional[int] = None,
+        runtime: Any = None,
+        delay_model: Any = None,
+        omission: Any = None,
     ) -> Execution:
         """Run once; under ``timeout_rounds`` parties that miss the deadline
         announce the paper's default bit vector instead of aborting."""
@@ -90,6 +93,9 @@ class ParallelBroadcastProtocol:
             fault_seed=fault_seed,
             timeout_rounds=timeout_rounds,
             timeout_output=timeout_output,
+            runtime=runtime,
+            delay_model=delay_model,
+            omission=omission,
         )
 
     def announced(
@@ -101,6 +107,9 @@ class ParallelBroadcastProtocol:
         fault_plan: Any = None,
         fault_seed: Optional[int] = None,
         timeout_rounds: Optional[int] = None,
+        runtime: Any = None,
+        delay_model: Any = None,
+        omission: Any = None,
     ) -> Tuple[int, ...]:
         """Announced^Π_A(x): run once and extract the announced vector."""
         execution = self.run(
@@ -111,6 +120,9 @@ class ParallelBroadcastProtocol:
             fault_plan=fault_plan,
             fault_seed=fault_seed,
             timeout_rounds=timeout_rounds,
+            runtime=runtime,
+            delay_model=delay_model,
+            omission=omission,
         )
         return tuple(
             coerce_bit(w) for w in execution.announced_vector(default=DEFAULT_BIT)

@@ -1,0 +1,181 @@
+"""Property-based tests for the event runtime (hypothesis).
+
+Three invariants, each quantified over random seeds and parameters:
+
+* **replay** — every delay draw comes from a seeded per-edge stream, so
+  the same (seed, model) always reproduces the same draws;
+* **determinism** — a full event-runtime execution (delivery order,
+  transcripts, outputs) is a pure function of (seed, delay model);
+* **degeneracy** — with the default ``RushDelay(ConstantDelay(1))``
+  timing, the event engine *is* the lockstep scheduler: announced
+  vectors, transcripts, and round counts coincide on the protocol zoo.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import run_protocol
+from repro.net.runtime import (
+    ConstantDelay,
+    EventClock,
+    ExponentialDelay,
+    RushDelay,
+    UniformDelay,
+    delay_model_from_spec,
+)
+from repro.protocols import (
+    IdealSimultaneousBroadcast,
+    PiGBroadcast,
+    SequentialBroadcast,
+)
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_runtime_env():
+    """The lockstep legs below must really be lockstep, even when the CI
+    runtime matrix exports REPRO_RUNTIME=event globally.  Module-scoped
+    (hypothesis forbids function-scoped fixtures under @given)."""
+    import os
+
+    keys = ("REPRO_RUNTIME", "REPRO_DELAY_MODEL", "REPRO_OMISSION")
+    saved = {key: os.environ.pop(key, None) for key in keys}
+    yield
+    for key, value in saved.items():
+        if value is not None:
+            os.environ[key] = value
+
+
+N, T = 4, 1
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+input_vectors = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=N, max_size=N
+)
+edges = st.tuples(
+    st.integers(min_value=1, max_value=N), st.integers(min_value=1, max_value=N)
+)
+delay_specs = st.sampled_from(
+    [
+        "constant:1",
+        "constant:0.25",
+        "uniform:0.5,1.5",
+        "uniform:0.1,3.0",
+        "exponential:1.0",
+        "rush:uniform:0.5,1.5",
+    ]
+)
+
+FAST_FACTORIES = [
+    lambda: SequentialBroadcast(N, T),
+    lambda: IdealSimultaneousBroadcast(N, T),
+    lambda: PiGBroadcast(N, T, backend="ideal"),
+]
+
+
+class TestSeededDrawsReplay:
+    @given(seed=seeds, edge=edges, spec=delay_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_delay_draws_replay_identically(self, seed, edge, spec):
+        sender, recipient = edge
+        model = delay_model_from_spec(spec)
+        first = [
+            model.edge_delay(sender, recipient, EventClock(seed).edge_rng(sender, recipient))
+            for _ in range(1)
+        ]
+        clock_a, clock_b = EventClock(seed), EventClock(seed)
+        draws_a = [
+            model.edge_delay(sender, recipient, clock_a.edge_rng(sender, recipient))
+            for _ in range(8)
+        ]
+        draws_b = [
+            model.edge_delay(sender, recipient, clock_b.edge_rng(sender, recipient))
+            for _ in range(8)
+        ]
+        assert draws_a == draws_b
+        assert draws_a[0] == first[0]
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_order_breaks_ties_deterministically(self, seed):
+        clock_a, clock_b = EventClock(seed), EventClock(seed)
+        for clock in (clock_a, clock_b):
+            for item in range(10):
+                clock.schedule(1.0, item)
+        assert clock_a.advance() == clock_b.advance()
+
+
+class TestDeliveryOrderDeterminism:
+    @given(seed=seeds, bits=input_vectors, spec=delay_specs)
+    @settings(max_examples=12, deadline=None)
+    def test_execution_is_a_function_of_seed_and_model(self, seed, bits, spec):
+        protocol = SequentialBroadcast(N, T)
+        runs = [
+            run_protocol(
+                protocol,
+                list(bits),
+                seed=seed,
+                runtime="event",
+                delay_model=spec,
+                timeout_rounds=40,
+                timeout_output=tuple([0] * N),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].outputs == runs[1].outputs
+        assert runs[0].rounds == runs[1].rounds
+        assert runs[0].timed_out == runs[1].timed_out
+
+
+class TestLockstepDegeneracy:
+    @given(
+        seed=seeds,
+        bits=input_vectors,
+        factory_index=st.integers(min_value=0, max_value=len(FAST_FACTORIES) - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_default_event_timing_equals_lockstep(self, seed, bits, factory_index):
+        protocol = FAST_FACTORIES[factory_index]()
+        lockstep = run_protocol(protocol, list(bits), seed=seed)
+        event = run_protocol(protocol, list(bits), seed=seed, runtime="event")
+        assert event.outputs == lockstep.outputs
+        assert event.rounds == lockstep.rounds
+        assert event.round_count == lockstep.round_count
+        assert event.adversary_output == lockstep.adversary_output
+
+    @given(seed=seeds, bits=input_vectors)
+    @settings(max_examples=15, deadline=None)
+    def test_explicit_rush_constant_is_the_same_degenerate_point(self, seed, bits):
+        protocol = SequentialBroadcast(N, T)
+        lockstep = run_protocol(protocol, list(bits), seed=seed)
+        event = run_protocol(
+            protocol,
+            list(bits),
+            seed=seed,
+            runtime="event",
+            delay_model=RushDelay(ConstantDelay(1.0)),
+        )
+        assert event.outputs == lockstep.outputs
+        assert event.rounds == lockstep.rounds
+
+
+class TestModelSanity:
+    @given(seed=seeds, low=st.floats(min_value=0.0, max_value=2.0), width=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_draws_stay_in_bounds(self, seed, low, width):
+        model = UniformDelay(low, low + width)
+        rng = EventClock(seed).edge_rng(1, 2)
+        for _ in range(16):
+            draw = model.edge_delay(1, 2, rng)
+            assert low <= draw <= low + width + 1e-12
+
+    @given(seed=seeds, mean=st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_exponential_draws_are_positive(self, seed, mean):
+        model = ExponentialDelay(mean)
+        rng = EventClock(seed).edge_rng(2, 1)
+        for _ in range(16):
+            assert model.edge_delay(2, 1, rng) > 0
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])
