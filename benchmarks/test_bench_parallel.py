@@ -18,12 +18,12 @@ import json
 import os
 import time
 
+from repro.experiments import ExperimentConfig
 from repro.experiments.diffjson import strip_wall_clock
 from repro.experiments.registry import run_many
 from repro.parallel import default_jobs
 
 from .conftest import BENCH_SCALE
-from repro.experiments import ExperimentConfig
 
 SUBSET = ["E-COST", "E-C56", "E-C66"]
 WORKER_COUNTS = (1, 2, 4, 8)

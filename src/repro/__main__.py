@@ -6,11 +6,14 @@ Commands:
   (:mod:`repro.experiments.__main__`); ``run`` is optional sugar, and
   ``experiments list`` is shorthand for ``--list``;
 * ``obs {export,report,diff,baseline}`` — observability exports and the
-  metrics-regression surface (:mod:`repro.obs.__main__`).
+  metrics-regression surface (:mod:`repro.obs.__main__`);
+* ``analyze [--format text|json] [--baseline] [--update-baseline]`` — the
+  determinism & protocol-discipline static analyzer
+  (:mod:`repro.analysis.cli`), emitting ``results/ANALYSIS.json``.
 
 Installed as the ``repro`` console script, so
-``repro experiments run E-FAULT --faults plan.json --jobs 4`` and
-``repro obs diff`` work wherever the package does.
+``repro experiments run E-FAULT --faults plan.json --jobs 4``,
+``repro obs diff``, and ``repro analyze`` work wherever the package does.
 """
 
 from __future__ import annotations
@@ -27,6 +30,9 @@ commands:
                                observability exports and the metrics
                                regression surface (see
                                `python -m repro obs --help`)
+  analyze [paths ...] ...      determinism & protocol-discipline static
+                               analyzer with CI ratchet gates (see
+                               `python -m repro analyze --help`)
 """
 
 
@@ -48,6 +54,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.__main__ import main as obs_main
 
         return obs_main(rest)
+    if command == "analyze":
+        from .analysis.cli import main as analyze_main
+
+        return analyze_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
     return 2
 

@@ -1,0 +1,140 @@
+"""``python -m repro analyze`` — the static-analysis entry point.
+
+Exit status: 0 when the tree is clean modulo the baseline (and the
+baseline has no stale entries), 1 when any finding gates, 2 on usage
+errors.  Always writes the JSON report (``results/ANALYSIS.json`` by
+default) so CI can upload it as an artifact regardless of outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .engine import analyze_files, iter_python_files
+from .report import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_REPORT_PATH,
+    build_report,
+    load_baseline,
+    write_baseline,
+    write_report,
+)
+from .rules import ALL_RULES, resolve_rules, rule_catalog
+
+
+def _default_target() -> str:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    from .. import __file__ as package_init
+
+    return os.path.dirname(os.path.abspath(package_init))
+
+
+def _default_root(target: str) -> str:
+    """Anchor for stable relative paths: the directory holding ``repro/``."""
+    return os.path.dirname(os.path.abspath(target))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "determinism & protocol-discipline static analyzer; gates on"
+            " zero non-baselined findings"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (the JSON report file is written either way)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=DEFAULT_BASELINE_PATH,
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: every finding gates",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=DEFAULT_REPORT_PATH,
+        help=f"JSON report path (default: {DEFAULT_REPORT_PATH}; '-' disables)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule.id) for rule in ALL_RULES)
+        for entry in rule_catalog():
+            print(
+                f"{entry['id'].ljust(width)}  [{entry['severity']}]"
+                f" {entry['title']} — {entry['rationale']}"
+            )
+        return 0
+
+    try:
+        rules = resolve_rules(
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules
+            else None
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    if args.paths:
+        targets = [os.path.abspath(path) for path in args.paths]
+        root = os.getcwd()
+    else:
+        target = _default_target()
+        targets = [target]
+        root = _default_root(target)
+
+    files = iter_python_files(targets)
+    if not files:
+        parser.error(f"no python files under: {', '.join(targets)}")
+    findings, scanned = analyze_files(files, rules, root=root)
+
+    if args.update_baseline:
+        write_baseline(findings, args.baseline)
+        print(
+            f"baseline updated: {len(findings)} finding(s) ->"
+            f" {args.baseline}"
+        )
+        return 0
+
+    baseline = None if args.no_baseline else load_baseline(args.baseline)
+    report = build_report(findings, scanned, baseline)
+
+    if args.out != "-":
+        write_report(report, args.out)
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+
+    if report.findings or report.stale_baseline_keys:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

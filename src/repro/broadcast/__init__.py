@@ -7,8 +7,8 @@ interactive-consistency parallel composition of Pease et al. [18].
 from .base import DEFAULT_VALUE, SingleSenderBroadcast
 from .bracha import BrachaBroadcast, bracha_rbc
 from .dolev_strong import DolevStrongBroadcast, dolev_strong
-from .emulation import OverPointToPoint
 from .eig import EIGBroadcast, eig_broadcast
+from .emulation import OverPointToPoint
 from .ideal import IdealBroadcast, ideal_broadcast
 from .interactive_consistency import PRIMITIVES, InteractiveConsistency
 from .phase_king import (

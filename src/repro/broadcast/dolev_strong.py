@@ -79,7 +79,6 @@ def dolev_strong(
     else:
         drafts = []
 
-    relays: List[Tuple[Any, Tuple[Tuple[int, Any], ...]]] = []
     for round_index in range(1, t + 2):
         inbox = yield drafts
         drafts = []

@@ -31,10 +31,10 @@ from typing import Any, Dict, List, Tuple
 from ..crypto.group import SchnorrGroup
 from ..crypto.signatures import KeyDirectory
 from ..errors import ProtocolError
-from ..obs import runtime as _obs
 from ..net.compose import run_in_lockstep
 from ..net.message import BROADCAST, Draft, Inbox, Message
 from ..net.party import PartyContext
+from ..obs import runtime as _obs
 from .dolev_strong import dolev_strong
 
 _EMPTY_BUNDLE: Tuple = ()
@@ -84,16 +84,32 @@ class OverPointToPoint:
             "directory": KeyDirectory.generate(group, self.n, rng),
         }
 
-    # Convenience passthroughs so the wrapper quacks like the zoo protocols.
-    def run(self, inputs, adversary=None, rng=None, seed=None):
+    # Convenience passthroughs so the wrapper quacks like the zoo protocols —
+    # including the graceful ``timeout_rounds`` default-output fallback the
+    # fault-conformance suite relies on (analyzer rule PROTO001).
+    def run(self, inputs, adversary=None, rng=None, seed=None, timeout_rounds=None):
         from ..net.network import run_protocol
+        from ..protocols.base import DEFAULT_BIT
 
-        return run_protocol(self, list(inputs), adversary=adversary, rng=rng, seed=seed)
+        timeout_output = (
+            tuple([DEFAULT_BIT] * self.n) if timeout_rounds is not None else None
+        )
+        return run_protocol(
+            self,
+            list(inputs),
+            adversary=adversary,
+            rng=rng,
+            seed=seed,
+            timeout_rounds=timeout_rounds,
+            timeout_output=timeout_output,
+        )
 
-    def announced(self, inputs, adversary=None, rng=None, seed=None):
+    def announced(self, inputs, adversary=None, rng=None, seed=None, timeout_rounds=None):
         from ..protocols.base import DEFAULT_BIT, coerce_bit
 
-        execution = self.run(inputs, adversary=adversary, rng=rng, seed=seed)
+        execution = self.run(
+            inputs, adversary=adversary, rng=rng, seed=seed, timeout_rounds=timeout_rounds
+        )
         return tuple(
             coerce_bit(w, default=DEFAULT_BIT)
             for w in execution.announced_vector(default=DEFAULT_BIT)

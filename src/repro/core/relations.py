@@ -47,7 +47,7 @@ def measure(
     distribution: Distribution,
     adversary_factories: Mapping[str, AdversaryFactory],
     rng: random.Random,
-    budget: MeasurementBudget = MeasurementBudget(),
+    budget: Optional[MeasurementBudget] = None,
 ) -> IndependenceReport:
     """Worst-case report for one definition over a suite of adversaries.
 
@@ -55,6 +55,8 @@ def measure(
     enters through its support: those estimators fix input vectors drawn
     from the distribution's support set.
     """
+    if budget is None:
+        budget = MeasurementBudget()
     if definition not in DEFINITIONS:
         raise ExperimentError(f"unknown definition {definition!r}")
     if not adversary_factories:
@@ -133,7 +135,7 @@ def definition_grid(
     distributions: Sequence[Distribution],
     adversary_suites: Mapping[str, Mapping[str, AdversaryFactory]],
     rng: random.Random,
-    budget: MeasurementBudget = MeasurementBudget(),
+    budget: Optional[MeasurementBudget] = None,
 ) -> List[GridCell]:
     """Evaluate every (protocol, definition, distribution) cell.
 
@@ -141,6 +143,8 @@ def definition_grid(
     (protocol-specific attacks need the protocol instance, so suites are
     built by the caller).
     """
+    if budget is None:
+        budget = MeasurementBudget()
     cells: List[GridCell] = []
     for protocol in protocols:
         suite = adversary_suites.get(protocol.name, {"honest": HONEST})

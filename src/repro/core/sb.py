@@ -98,7 +98,7 @@ def sb_report(
         for x in input_vectors:
             key = tuple(x[i - 1] for i in corrupted)
             by_corrupted_inputs.setdefault(key, []).append(x)
-        for key, group in by_corrupted_inputs.items():
+        for group in by_corrupted_inputs.values():
             for x_r, x_s in itertools.combinations(group, 2):
                 gap = empirical_tv(
                     patterns[x_r], samples_per_point, patterns[x_s], samples_per_point

@@ -95,7 +95,7 @@ class ReplaySimulator(Simulator):
             announced = execution.announced_vector(default=0)
         except Exception:
             announced = tuple(0 for _ in range(self.protocol.n))
-        substituted = {i: announced[i - 1] for i in corrupted}
+        substituted = {i: announced[i - 1] for i in sorted(corrupted)}
         return substituted, execution.adversary_output
 
 
@@ -109,7 +109,7 @@ def ideal_exec_vector(
 ) -> Tuple[Any, ...]:
     """One sample of Exec^{Ideal(f_SB)}_S(k, z, x)."""
     corrupted = set(corrupted)
-    corrupted_inputs = {i: inputs[i - 1] for i in corrupted}
+    corrupted_inputs = {i: inputs[i - 1] for i in sorted(corrupted)}
     substituted, adversary_output = simulator.simulate(corrupted_inputs, rng)
     announced = tuple(
         substituted.get(i, default)

@@ -21,7 +21,6 @@ from .polynomial import (
 )
 from .prg import PRF, PRG, random_oracle, random_oracle_int
 from .secret_sharing import ShamirSharing, Share
-from .signatures import KeyDirectory, KeyPair, Signature, sign, verify
 from .sigma import (
     OpeningProof,
     SchnorrProof,
@@ -31,6 +30,7 @@ from .sigma import (
     verify_discrete_log,
     verify_opening,
 )
+from .signatures import KeyDirectory, KeyPair, Signature, sign, verify
 from .vss import FeldmanDealing, FeldmanVSS, PedersenDealing, PedersenShare, PedersenVSS
 
 __all__ = [

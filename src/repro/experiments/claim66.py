@@ -19,8 +19,8 @@ import itertools
 from typing import Optional, Tuple
 
 from ..analysis import render_table
-from ..protocols import PiGBroadcast
 from ..parallel import SERIAL_ENGINE, ExperimentEngine
+from ..protocols import PiGBroadcast
 from .common import ExperimentConfig, ExperimentResult, TrialPlan, xor_factory
 
 EXPERIMENT_ID = "E-C66"

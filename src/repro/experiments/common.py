@@ -9,6 +9,7 @@ measured behaviour matches the paper's claim".
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List
 
@@ -60,6 +61,19 @@ class ExperimentConfig:
 
     def samples(self, base: int, floor: int = 10) -> int:
         return max(floor, int(base * self.scale))
+
+
+def stable_salt(*parts: Any) -> int:
+    """A 16-bit RNG salt derived deterministically from labels.
+
+    Experiments that salt per-(protocol, distribution) cell used to call
+    builtin ``hash(...)`` here, which is ``PYTHONHASHSEED``-salted for
+    strings — the same invocation on a fresh interpreter drew *different*
+    RNG streams, so artifacts could never be replayed across processes
+    (analyzer rule DET005).  ``zlib.crc32`` is process-independent.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFF
 
 
 # -- deterministic trial sharding ---------------------------------------------------

@@ -22,7 +22,9 @@ import sys
 from typing import Any, Dict, List
 
 #: Result fields that legitimately differ between runs (wall-clock only).
-WALL_CLOCK_FIELDS = ("wall_seconds",)
+#: ``wall_ms_per_run`` is E-ABL's per-variant timing table — measured cost,
+#: same class of value as ``wall_seconds``.
+WALL_CLOCK_FIELDS = ("wall_seconds", "wall_ms_per_run")
 
 
 def strip_wall_clock(result: Dict[str, Any]) -> Dict[str, Any]:

@@ -186,7 +186,7 @@ def run(
         for key in PROTOCOL_KEYS
     ]
     tasks = []
-    for index, (label, plan, gated, key) in enumerate(cells):
+    for index, (label, plan, _gated, key) in enumerate(cells):
         cell_plan = TrialPlan(
             salt=_PLAN_SALT_BASE + index, total=trials, name=f"{label}:{key}"
         )

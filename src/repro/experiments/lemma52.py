@@ -17,9 +17,15 @@ from typing import Optional
 
 from ..analysis import render_table
 from ..core import HONEST, cr_report
-from ..distributions.analytic import cr_achievability_floor
 from ..distributions import all_equal, parity
-from .common import ExperimentConfig, ExperimentResult, decision_mark, standard_protocols
+from ..distributions.analytic import cr_achievability_floor
+from .common import (
+    ExperimentConfig,
+    ExperimentResult,
+    decision_mark,
+    stable_salt,
+    standard_protocols,
+)
 
 EXPERIMENT_ID = "E-L52"
 TITLE = "Lemma 5.2 — CR impossibility outside Psi_C"
@@ -37,7 +43,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for name, protocol in protocols.items():
         for distribution in distributions:
             report = cr_report(
-                protocol, distribution, HONEST, samples, config.rng(salt=hash((name, distribution.name)) & 0xFFFF)
+                protocol, distribution, HONEST, samples, config.rng(salt=stable_salt(name, distribution.name))
             )
             verdicts[(name, distribution.name)] = report
             rows.append(

@@ -17,13 +17,14 @@ from typing import Optional
 
 from ..analysis import render_table
 from ..core import g_report
-from ..distributions.analytic import g_achievability_floor
 from ..distributions import all_equal, near_product_mixture, uniform
+from ..distributions.analytic import g_achievability_floor
 from .common import (
     ExperimentConfig,
     ExperimentResult,
     decision_mark,
     passive_factory,
+    stable_salt,
     standard_protocols,
 )
 
@@ -53,7 +54,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 distribution,
                 factory,
                 samples,
-                config.rng(salt=hash((name, distribution.name)) & 0xFFFF),
+                config.rng(salt=stable_salt(name, distribution.name)),
                 min_condition_count=max(10, samples // 40),
             )
             violated_cells.append(report)
@@ -66,7 +67,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             control,
             factory,
             samples,
-            config.rng(salt=hash(name) & 0xFFFF),
+            config.rng(salt=stable_salt(name)),
             min_condition_count=max(10, samples // 40),
         )
         control_cells.append(control_report)

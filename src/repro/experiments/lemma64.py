@@ -26,9 +26,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..analysis import render_table
 from ..core import cr_report_from_samples, g_report_from_samples
 from ..core.announced import AnnouncedSample, announce_once
-from ..analysis import render_table
 from ..distributions import bernoulli_product, uniform
 from ..parallel import SERIAL_ENGINE, ExperimentEngine
 from ..protocols import PiGBroadcast

@@ -9,9 +9,8 @@ ablation showing where CGMA's linearity comes from.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import math
+from typing import Optional
 
 from ..analysis import render_table
 from ..protocols import (

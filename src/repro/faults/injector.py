@@ -29,7 +29,7 @@ from ..obs import runtime as _obs
 from .plan import FaultPlan, FaultRule
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultRecord:
     """One injected fault, as recorded in the execution transcript."""
 

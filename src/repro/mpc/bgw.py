@@ -91,7 +91,7 @@ def bgw_evaluate(
                 continue
             shares_by_gate.setdefault(gate_id, field_.element(raw))
     # Unshared inputs behave as the public constant 0 (constant zero poly).
-    for owner, name, gate_id in circuit.input_wires():
+    for _owner, _name, gate_id in circuit.input_wires():
         shares_by_gate.setdefault(gate_id, field_.zero())
 
     # ---- evaluation with batched multiplication rounds ----------------------------

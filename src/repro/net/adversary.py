@@ -27,7 +27,7 @@ from .party import PartyContext, PartyState
 class Adversary:
     """Base adversary: corrupted parties send nothing (crash/silent faults)."""
 
-    def __init__(self, corrupted: Iterable[int], auxiliary: Any = None):
+    def __init__(self, corrupted: Iterable[int], auxiliary: Any = None) -> None:
         self.corrupted = frozenset(corrupted)
         self.auxiliary = auxiliary
         self.n: int = 0
@@ -94,19 +94,26 @@ class PassiveAdversary(Adversary):
     def __init__(
         self,
         corrupted: Iterable[int],
-        program_factory=None,
+        program_factory: Optional[Any] = None,
         auxiliary: Any = None,
-    ):
+    ) -> None:
         super().__init__(corrupted, auxiliary)
         self._program_factory = program_factory
         self._states: Dict[int, PartyState] = {}
 
-    def set_program_factory(self, factory) -> None:
+    def set_program_factory(self, factory: Any) -> None:
         """Install the protocol's honest program factory (done by the runtime)."""
         if self._program_factory is None:
             self._program_factory = factory
 
-    def setup(self, n, config, corrupted_inputs, rng, session=""):
+    def setup(
+        self,
+        n: int,
+        config: Any,
+        corrupted_inputs: Mapping[int, Any],
+        rng: random.Random,
+        session: str = "",
+    ) -> None:
         super().setup(n, config, corrupted_inputs, rng, session)
         if self._program_factory is None:
             raise ProtocolError("PassiveAdversary has no program factory installed")
@@ -123,14 +130,18 @@ class PassiveAdversary(Adversary):
         self._stash = {i: [] for i in self.corrupted}
         self._started = False
 
-    def act(self, round_number, rushed):
+    def act(
+        self, round_number: int, rushed: Mapping[int, Inbox]
+    ) -> Dict[int, List[Draft]]:
         return _run_corrupted_programs(self, round_number, rushed)
 
-    def finish(self):
+    def finish(self) -> Any:
         return {i: state.output for i, state in self._states.items()}
 
 
-def _run_corrupted_programs(adversary, round_number, rushed) -> Dict[int, List[Draft]]:
+def _run_corrupted_programs(
+    adversary: Any, round_number: int, rushed: Mapping[int, Inbox]
+) -> Dict[int, List[Draft]]:
     """Shared driver for adversaries that run programs in corrupted slots.
 
     Each corrupted program receives its full *information set*: every
@@ -170,14 +181,21 @@ class ProgramAdversary(Adversary):
         programs: Mapping[int, Any],
         auxiliary: Any = None,
         inputs_override: Optional[Mapping[int, Any]] = None,
-    ):
+    ) -> None:
         super().__init__(programs.keys(), auxiliary)
         self._programs = dict(programs)
         self._inputs_override = dict(inputs_override or {})
         self._states: Dict[int, PartyState] = {}
         self._started = False
 
-    def setup(self, n, config, corrupted_inputs, rng, session=""):
+    def setup(
+        self,
+        n: int,
+        config: Any,
+        corrupted_inputs: Mapping[int, Any],
+        rng: random.Random,
+        session: str = "",
+    ) -> None:
         super().setup(n, config, corrupted_inputs, rng, session)
         for i, factory in sorted(self._programs.items()):
             ctx = PartyContext(
@@ -192,10 +210,12 @@ class ProgramAdversary(Adversary):
         self._stash = {i: [] for i in self.corrupted}
         self._started = False
 
-    def act(self, round_number, rushed):
+    def act(
+        self, round_number: int, rushed: Mapping[int, Inbox]
+    ) -> Dict[int, List[Draft]]:
         return _run_corrupted_programs(self, round_number, rushed)
 
-    def finish(self):
+    def finish(self) -> Any:
         return {i: state.output for i, state in self._states.items()}
 
 

@@ -25,7 +25,9 @@ from .message import Draft, Inbox
 SubProtocol = Generator[Iterable[Draft], Inbox, Any]
 
 
-def run_in_lockstep(subprotocols: Dict[Hashable, SubProtocol]):
+def run_in_lockstep(
+    subprotocols: Dict[Hashable, SubProtocol],
+) -> Generator[Iterable[Draft], Inbox, Dict[Hashable, Any]]:
     """Run several sub-protocols in parallel rounds; returns {key: result}.
 
     All sub-protocols advance by exactly one network round per ``yield`` of
@@ -85,7 +87,7 @@ def _as_drafts(key: Hashable, drafts: Any) -> List[Draft]:
     return items
 
 
-def idle_rounds(count: int):
+def idle_rounds(count: int) -> Generator[Iterable[Draft], Inbox, None]:
     """A sub-protocol that stays silent for ``count`` rounds (padding)."""
     for _ in range(count):
         yield []

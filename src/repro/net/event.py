@@ -37,7 +37,7 @@ Progress guards generalize the lockstep round guards to event counts:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import NetworkError, ProtocolError
 from ..obs import flightrec as _flightrec
@@ -64,12 +64,12 @@ class EventScheduler(Scheduler):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         delay_model: Optional[DelayModel] = None,
         omission: Optional[OmissionPolicy] = None,
         max_events: Optional[int] = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.delay_model = delay_model if delay_model is not None else RushDelay()
         self.omission = omission

@@ -73,7 +73,7 @@ class Inbox:
 
     __slots__ = ("_messages",)
 
-    def __init__(self, messages: Optional[List[Message]] = None):
+    def __init__(self, messages: Optional[List[Message]] = None) -> None:
         self._messages = list(messages or ())
 
     def __iter__(self) -> Iterator[Message]:

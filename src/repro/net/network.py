@@ -20,7 +20,7 @@ DEFAULT_SEED = 0
 
 
 def run_protocol(
-    protocol,
+    protocol: Any,
     inputs: Sequence[Any],
     adversary: Optional[Adversary] = None,
     rng: Optional[random.Random] = None,

@@ -99,15 +99,15 @@ class ConstantDelay(DelayModel):
 
     name = "constant"
 
-    def __init__(self, ticks: float = 1.0):
+    def __init__(self, ticks: float = 1.0) -> None:
         if ticks <= 0:
             raise InvalidParameterError("constant delay must be positive")
         self.ticks = float(ticks)
 
-    def edge_delay(self, sender, recipient, rng):
+    def edge_delay(self, sender: int, recipient: int, rng: random.Random) -> float:
         return self.ticks
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"model": self.name, "ticks": self.ticks}
 
 
@@ -116,7 +116,7 @@ class UniformDelay(DelayModel):
 
     name = "uniform"
 
-    def __init__(self, low: float = 0.5, high: float = 1.5):
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
         if low < 0 or high < low:
             raise InvalidParameterError(
                 f"uniform delay needs 0 <= low <= high, got [{low}, {high}]"
@@ -124,10 +124,10 @@ class UniformDelay(DelayModel):
         self.low = float(low)
         self.high = float(high)
 
-    def edge_delay(self, sender, recipient, rng):
+    def edge_delay(self, sender: int, recipient: int, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"model": self.name, "low": self.low, "high": self.high}
 
 
@@ -136,15 +136,15 @@ class ExponentialDelay(DelayModel):
 
     name = "exponential"
 
-    def __init__(self, mean: float = 1.0):
+    def __init__(self, mean: float = 1.0) -> None:
         if mean <= 0:
             raise InvalidParameterError("exponential delay needs a positive mean")
         self.mean = float(mean)
 
-    def edge_delay(self, sender, recipient, rng):
+    def edge_delay(self, sender: int, recipient: int, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self.mean)
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"model": self.name, "mean": self.mean}
 
 
@@ -161,16 +161,16 @@ class RushDelay(DelayModel):
 
     name = "rush"
 
-    def __init__(self, base: Optional[DelayModel] = None):
+    def __init__(self, base: Optional[DelayModel] = None) -> None:
         self.base = base if base is not None else ConstantDelay(1.0)
 
-    def edge_delay(self, sender, recipient, rng):
+    def edge_delay(self, sender: int, recipient: int, rng: random.Random) -> float:
         return self.base.edge_delay(sender, recipient, rng)
 
-    def rushes(self, sender, recipient, corrupted):
+    def rushes(self, sender: int, recipient: int, corrupted: Any) -> bool:
         return recipient in corrupted and sender not in corrupted
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"model": self.name, "base": self.base.spec()}
 
 
@@ -238,15 +238,15 @@ class DropAll(OmissionPolicy):
 
     name = "drop-all"
 
-    def __init__(self, parties):
+    def __init__(self, parties: Any) -> None:
         if isinstance(parties, int):
             parties = (parties,)
         self.parties = frozenset(int(p) for p in parties)
 
-    def omits(self, sender, recipient, message, rng):
+    def omits(self, sender: int, recipient: int, message: Any, rng: random.Random) -> bool:
         return sender in self.parties
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"policy": self.name, "parties": sorted(self.parties)}
 
 
@@ -255,13 +255,13 @@ class DropEdges(OmissionPolicy):
 
     name = "drop-edges"
 
-    def __init__(self, edges):
+    def __init__(self, edges: Any) -> None:
         self.edges = frozenset((int(s), int(r)) for s, r in edges)
 
-    def omits(self, sender, recipient, message, rng):
+    def omits(self, sender: int, recipient: int, message: Any, rng: random.Random) -> bool:
         return (sender, recipient) in self.edges
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"policy": self.name, "edges": sorted(self.edges)}
 
 
@@ -274,15 +274,15 @@ class RandomDrop(OmissionPolicy):
 
     name = "random"
 
-    def __init__(self, probability: float):
+    def __init__(self, probability: float) -> None:
         if not 0.0 <= probability <= 1.0:
             raise InvalidParameterError("drop probability must be in [0, 1]")
         self.probability = float(probability)
 
-    def omits(self, sender, recipient, message, rng):
+    def omits(self, sender: int, recipient: int, message: Any, rng: random.Random) -> bool:
         return rng.random() < self.probability
 
-    def spec(self):
+    def spec(self) -> Dict[str, Any]:
         return {"policy": self.name, "probability": self.probability}
 
 
@@ -329,7 +329,7 @@ class EventClock:
 
     __slots__ = ("seed", "now", "_heap", "_sequence", "_edge_rngs")
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         self.seed = int(seed or 0)
         self.now = 0.0
         self._heap: List[Tuple[float, int, Any]] = []
@@ -471,7 +471,7 @@ def resolve_runtime(
     return RuntimeConfig(kind=kind, delay_model=model, omission=policy, max_events=max_events)
 
 
-def scheduler_class(kind: str):
+def scheduler_class(kind: str) -> Any:
     """The scheduler class registered for one runtime kind (lazy import)."""
     try:
         module_name, class_name = RUNTIMES[kind]

@@ -29,7 +29,7 @@ Two optional degradation hooks extend the clean model:
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import NetworkError, ProtocolError
 from ..obs import flightrec as _flightrec
@@ -46,7 +46,7 @@ ProgramFactory = Callable[[PartyContext, Any], Any]
 
 
 def bucket_by_recipient(
-    messages: Sequence[Message], recipients
+    messages: Sequence[Message], recipients: Iterable[int]
 ) -> Dict[int, List[Message]]:
     """One-pass routing index: recipient -> messages addressed to it.
 
@@ -96,7 +96,7 @@ class Scheduler:
         fault_injector: Any = None,
         timeout_rounds: Optional[int] = None,
         timeout_output: Any = None,
-    ):
+    ) -> None:
         if len(inputs) != n:
             raise ProtocolError(f"expected {n} inputs, got {len(inputs)}")
         if len(adversary.corrupted) >= n and n > 0:
@@ -292,7 +292,9 @@ class Scheduler:
                 unfinished=unfinished,
             )
 
-    def _collect_corrupted_traffic(self, corrupted_outboxes) -> List[Message]:
+    def _collect_corrupted_traffic(
+        self, corrupted_outboxes: Dict[int, Any]
+    ) -> List[Message]:
         """Validate and stamp the adversary's outboxes for one round."""
         corrupted_traffic: List[Message] = []
         for i, drafts in corrupted_outboxes.items():
@@ -323,7 +325,7 @@ class Scheduler:
         traffic: Sequence[Message],
         honest_traffic: Sequence[Message],
         corrupted_traffic: Sequence[Message],
-        **extra,
+        **extra: Any,
     ) -> None:
         """Fold one round (or event batch) into metrics/trace/flight records.
 

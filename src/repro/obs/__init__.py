@@ -27,11 +27,10 @@ Typical use::
     m.write_json("metrics.json")
 """
 
+from . import export, flightrec, runtime
+from .flightrec import FlightRecorder
 from .metrics import Histogram, Metrics, jsonable, payload_size
 from .tracer import NOOP_TRACER, NoopTracer, Tracer, read_jsonl
-from . import runtime
-from . import export, flightrec
-from .flightrec import FlightRecorder
 
 __all__ = [
     "FlightRecorder",

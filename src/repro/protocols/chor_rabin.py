@@ -162,7 +162,7 @@ class ChorRabinBroadcast(ParallelBroadcastProtocol):
                 targets = {int(j) for j in payload}
             except (TypeError, ValueError):
                 continue
-            for target in targets:
+            for target in sorted(targets):
                 if target in complaint_counts and target != sender:
                     complaint_counts[target] += 1
         disqualified = {

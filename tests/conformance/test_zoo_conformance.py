@@ -51,7 +51,7 @@ def test_zoo_cell(protocol_name, plan_name, conformance_log):
     # str seeds hash stably (unlike hash(), which is salted per process).
     rng = random.Random(f"{protocol_name}:{plan_name}")
     agreements = 0
-    for trial in range(TRIALS):
+    for _trial in range(TRIALS):
         inputs = [rng.randrange(2) for _ in range(N)]
         execution = protocol.run(
             inputs,

@@ -225,10 +225,8 @@ class TestPhaseKing:
         def chaotic(ctx, value):
             for phase in (1, 2):
                 # Send conflicting exchange values to different parties.
-                inbox = yield [
-                    send(j, j % 2, tag=f"pk:pk:x{phase}") for j in range(1, 6)
-                ]
-                inbox = yield []
+                yield [send(j, j % 2, tag=f"pk:pk:x{phase}") for j in range(1, 6)]
+                yield []
             return None
 
         protocol = PhaseKingConsensus(n=5, t=1)

@@ -70,7 +70,7 @@ class TestDistinguisherFamily:
         assert "W[1]==W[2]" in names  # Lemma 6.4's comparator Q
 
     def test_distinguishers_handle_missing_outputs(self):
-        for name, fn in default_distinguishers(N):
+        for _name, fn in default_distinguishers(N):
             assert fn((0,) * N, (None, None, None, None, None)) is False
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.crypto.commitment import PedersenParameters
 from repro.crypto.group import SchnorrGroup
-from repro.crypto.signatures import KeyDirectory, KeyPair, Signature, sign, verify
 from repro.crypto.sigma import (
     OpeningProof,
     check_opening,
@@ -15,6 +14,7 @@ from repro.crypto.sigma import (
     verify_discrete_log,
     verify_opening,
 )
+from repro.crypto.signatures import KeyDirectory, KeyPair, Signature, sign, verify
 from repro.errors import InvalidParameterError, ProofError, SignatureError
 
 GROUP = SchnorrGroup.for_security(24)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.net.compose import idle_rounds, run_in_lockstep
-from repro.net.message import Inbox, Message, send
+from repro.net.message import send
 from repro.net.network import run_protocol
 
 
@@ -98,7 +98,7 @@ class TestRunInLockstep:
         """Drafts produced in the same round a sub finishes still get sent."""
 
         def talker(ctx):
-            inbox = yield [send(2 if ctx.party_id == 1 else 1, "late", tag="flush")]
+            yield [send(2 if ctx.party_id == 1 else 1, "late", tag="flush")]
             return "ok"
 
         class Flush:

@@ -6,10 +6,8 @@ import pytest
 
 from repro.errors import ConsistencyError, NetworkError, ProtocolError
 from repro.net.adversary import Adversary, PassiveAdversary, ProgramAdversary
-from repro.net.message import Draft, Inbox, Message, broadcast, send
+from repro.net.message import Draft, Message, broadcast, send
 from repro.net.network import run_protocol
-from repro.net.scheduler import Scheduler
-from repro.net.party import PartyContext
 from repro.obs import Metrics, Tracer, payload_size, runtime as obs_runtime
 
 
@@ -153,7 +151,7 @@ class TestPassiveAdversary:
 class TestProgramAdversary:
     def test_malicious_program_replaces_value(self):
         def liar(ctx, value):
-            inbox = yield [broadcast(999, tag="val")]
+            yield [broadcast(999, tag="val")]
             return None
 
         execution = run_protocol(
@@ -166,7 +164,7 @@ class TestProgramAdversary:
 
     def test_input_override(self):
         def honest_like(ctx, value):
-            inbox = yield [broadcast(value, tag="val")]
+            yield [broadcast(value, tag="val")]
             return None
 
         execution = run_protocol(
@@ -210,7 +208,7 @@ class TestRushing:
                         observed_rounds.setdefault(message.payload, round_number)
                 return {2: []}
 
-        execution = run_protocol(
+        run_protocol(
             PingPongProtocol(), ["x", None], adversary=Recorder(corrupted=[2]), seed=1
         )
         # Party 1 sends ("ping", "x") in round 1; the adversary must see it in round 1.

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import serialization
 from repro.obs import (
     NOOP_TRACER,
     Histogram,
@@ -15,7 +16,6 @@ from repro.obs import (
     read_jsonl,
     runtime,
 )
-from repro import serialization
 
 
 class TestMetrics:

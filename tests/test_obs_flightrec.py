@@ -5,11 +5,11 @@ import json
 import pytest
 
 from repro.errors import ConsistencyError
+from repro.experiments import ExperimentConfig, run_experiment
 from repro.net.network import run_protocol
 from repro.net.transcript import Execution
 from repro.obs import FlightRecorder, Metrics, Tracer, flightrec, runtime
 from repro.obs.flightrec import read_dump
-from repro.experiments import ExperimentConfig, run_experiment
 from repro.parallel import ExperimentEngine
 from repro.protocols import CGMABroadcast, NaiveCommitReveal
 

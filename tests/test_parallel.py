@@ -151,7 +151,6 @@ class TestTrialPlan:
         assert len(set(prefixes)) == total
 
     def test_plans_with_different_salts_never_share_streams(self):
-        config = ExperimentConfig()
         first = TrialPlan(salt=0x100, total=20)
         second = TrialPlan(salt=0x101, total=20)
         first_salts = {first.trial_salt(i) for i in range(20)}
