@@ -9,7 +9,11 @@ Commands:
   metrics-regression surface (:mod:`repro.obs.__main__`);
 * ``analyze [--format text|json] [--baseline] [--update-baseline]`` — the
   determinism & protocol-discipline static analyzer
-  (:mod:`repro.analysis.cli`), emitting ``results/ANALYSIS.json``.
+  (:mod:`repro.analysis.cli`), emitting ``results/ANALYSIS.json``;
+* ``campaign [validate|exec|shrink] ...`` — the declarative-scenario
+  campaign fuzzer with minimal-counterexample shrinking
+  (:mod:`repro.scenario.cli`), emitting ``results/CAMPAIGN_zoo.json``
+  and the violation corpus under ``results/corpus/``.
 
 Installed as the ``repro`` console script, so
 ``repro experiments run E-FAULT --faults plan.json --jobs 4``,
@@ -33,6 +37,11 @@ commands:
   analyze [paths ...] ...      determinism & protocol-discipline static
                                analyzer with CI ratchet gates (see
                                `python -m repro analyze --help`)
+  campaign [validate|exec|shrink] ...
+                               seeded scenario-fuzzing campaigns with
+                               checkpoint/resume and minimal-repro
+                               shrinking (see
+                               `python -m repro campaign --help`)
 """
 
 
@@ -58,6 +67,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import main as analyze_main
 
         return analyze_main(rest)
+    if command == "campaign":
+        from .scenario.cli import main as campaign_main
+
+        return campaign_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
     return 2
 

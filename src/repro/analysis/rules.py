@@ -596,6 +596,40 @@ class BuiltinHashOrder(Rule):
                     )
 
 
+class ScenarioBypassesSchema(Rule):
+    """SCN001 — direct ``Scenario(...)`` construction outside the DSL.
+
+    The scenario DSL validates at its entry points — ``from_dict`` /
+    ``build`` / ``loads`` / ``load`` — not in ``__post_init__``, so a
+    direct dataclass call skips every cross-field schema check (protocol
+    resilience bounds, adversary applicability, event-only network
+    knobs).  Downstream consumers (campaign runner, corpus, shrinker, CI
+    gates) all assume "a Scenario exists ⇒ it validated"; construction
+    inside ``repro.scenario.*`` is the designed seam and stays exempt.
+    """
+
+    id = "SCN001"
+    severity = SEVERITY_ERROR
+    title = "Scenario constructed directly, bypassing schema validation"
+    rationale = "scenario invariants hold only through the validated entry points"
+
+    #: Resolved names of the dataclass (package re-export and home module).
+    _TARGETS = ("repro.scenario.Scenario", "repro.scenario.spec.Scenario")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.scenario" or ctx.module.startswith("repro.scenario."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(ctx, node) in self._TARGETS:
+                yield self.finding(
+                    ctx, node,
+                    "Scenario(...) called directly; use Scenario.from_dict /"
+                    " build / loads / load so the spec is schema-validated",
+                )
+
+
 #: The battery, in catalog order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -608,6 +642,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     RunHonorsTimeout(),
     EnvOutsideSeam(),
     MetricNameSanitization(),
+    ScenarioBypassesSchema(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

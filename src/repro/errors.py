@@ -58,3 +58,7 @@ class DistributionError(SimbcastError):
 
 class ExperimentError(SimbcastError):
     """An experiment harness failed to produce a verdict."""
+
+
+class ScenarioError(SimbcastError):
+    """A declarative scenario (or fault-plan) spec failed schema validation."""

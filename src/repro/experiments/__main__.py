@@ -131,12 +131,16 @@ def main(argv=None) -> int:
 
     fault_plan = None
     if args.faults is not None:
-        from ..faults import FaultPlan
+        # Schema-validated load: a malformed plan fails here with a
+        # field-by-field diagnosis instead of a stack trace from deep
+        # inside the fault injector.
+        from ..errors import ScenarioError
+        from ..scenario.schema import load_fault_plan
 
         try:
-            fault_plan = FaultPlan.load(args.faults)
-        except (OSError, ValueError, KeyError) as exc:
-            parser.error(f"--faults {args.faults!r} is not a readable plan: {exc}")
+            fault_plan = load_fault_plan(args.faults)
+        except ScenarioError as exc:
+            parser.error(f"--faults {args.faults!r}: {exc}")
 
     from ..errors import InvalidParameterError
     from ..net.runtime import ENV_DELAY_MODEL, ENV_OMISSION, ENV_RUNTIME, resolve_runtime

@@ -1,0 +1,316 @@
+"""Registries mapping scenario spec strings to runtime objects.
+
+The DSL names everything by string — protocol-zoo member, adversary
+strategy, input distribution — and this module owns the string → object
+mapping plus the per-kind applicability checks that
+:mod:`repro.scenario.schema` runs at validation time.  Nothing here holds
+state: builders return *fresh* objects so every trial gets its own
+(possibly stateful) adversary instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..adversaries import (
+    Adversary,
+    CommitEchoAdversary,
+    PassiveAdversary,
+    SequentialCopier,
+)
+from ..broadcast.bracha import BrachaBroadcast
+from ..broadcast.phase_king import PhaseKingBroadcast
+from ..errors import ScenarioError
+from ..protocols import (
+    CGMABroadcast,
+    ChorRabinBroadcast,
+    GennaroBroadcast,
+    IdealSimultaneousBroadcast,
+    NaiveCommitReveal,
+    PiGBroadcast,
+    SequentialBroadcast,
+)
+
+# -- protocols ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One zoo member as the DSL sees it.
+
+    ``single_sender`` protocols broadcast one designated party's value
+    (inputs at other positions are ignored); parallel protocols announce
+    the whole vector.  ``resilience`` returns a human-readable problem
+    string when ``(n, t)`` violates the member's bound, ``None`` when ok.
+    ``mailbox`` members exchange values through the trusted-party mailbox
+    — wire faults are vacuous, the strongest conformance class.
+    """
+
+    key: str
+    build: Callable[..., Any]
+    single_sender: bool = False
+    mailbox: bool = False
+    independent: bool = False
+    resilience: Optional[Callable[[int, int], Optional[str]]] = None
+
+    def check_resilience(self, n: int, t: int) -> Optional[str]:
+        if self.resilience is None:
+            return None
+        return self.resilience(n, t)
+
+
+def _needs(fraction: int, name: str) -> Callable[[int, int], Optional[str]]:
+    def check(n: int, t: int) -> Optional[str]:
+        if fraction * t >= n:
+            return f"{name} requires n > {fraction}t (got n={n}, t={t})"
+        return None
+
+    return check
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    spec.key: spec
+    for spec in (
+        ProtocolSpec(
+            key="sequential",
+            build=lambda n, t, k, sender: SequentialBroadcast(n, t),
+        ),
+        ProtocolSpec(
+            key="ideal-sb",
+            build=lambda n, t, k, sender: IdealSimultaneousBroadcast(n, t),
+            mailbox=True,
+            independent=True,
+        ),
+        ProtocolSpec(
+            key="naive-commit-reveal",
+            build=lambda n, t, k, sender: NaiveCommitReveal(n, t),
+        ),
+        ProtocolSpec(
+            key="pi-g",
+            build=lambda n, t, k, sender: PiGBroadcast(n, t, backend="ideal"),
+            mailbox=True,
+            independent=True,
+        ),
+        ProtocolSpec(
+            key="cgma",
+            build=lambda n, t, k, sender: CGMABroadcast(n, t, security_bits=k),
+            independent=True,
+        ),
+        ProtocolSpec(
+            key="chor-rabin",
+            build=lambda n, t, k, sender: ChorRabinBroadcast(n, t, security_bits=k),
+            independent=True,
+        ),
+        ProtocolSpec(
+            key="gennaro",
+            build=lambda n, t, k, sender: GennaroBroadcast(n, t, security_bits=k),
+            independent=True,
+        ),
+        ProtocolSpec(
+            key="bracha",
+            build=lambda n, t, k, sender: BrachaBroadcast(n, t, sender=sender),
+            single_sender=True,
+            resilience=_needs(3, "Bracha RBC"),
+        ),
+        ProtocolSpec(
+            key="phase-king",
+            build=lambda n, t, k, sender: PhaseKingBroadcast(n, t, sender=sender),
+            single_sender=True,
+            resilience=_needs(4, "phase king"),
+        ),
+    )
+}
+
+
+def build_protocol(key: str, n: int, t: int, security_bits: int, sender: int) -> Any:
+    try:
+        spec = PROTOCOLS[key]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown protocol {key!r}; known: {sorted(PROTOCOLS)}"
+        ) from None
+    return spec.build(n, t, security_bits, sender)
+
+
+# -- adversaries --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A parsed adversary spec string.
+
+    ``kind`` is the strategy; ``parties`` its integer arguments.  Copier
+    kinds read ``parties`` as ``(copier, target)``; corruption kinds as
+    the corrupted set.
+    """
+
+    kind: str
+    parties: Tuple[int, ...] = ()
+
+    @property
+    def corrupted(self) -> Tuple[int, ...]:
+        """The parties the adversary statically corrupts."""
+        if self.kind == "none":
+            return ()
+        if self.kind in ("commit-echo", "sequential-copier"):
+            return (self.parties[0],)
+        return tuple(sorted(set(self.parties)))
+
+    @property
+    def copier_pair(self) -> Optional[Tuple[int, int]]:
+        """``(copier, target)`` for copy strategies, else ``None``."""
+        if self.kind in ("commit-echo", "sequential-copier"):
+            return (self.parties[0], self.parties[1])
+        return None
+
+    def check(self, protocol: str, n: int, t: int) -> Optional[str]:
+        """Applicability problem string for one scenario, ``None`` when ok."""
+        out_of_range = [p for p in self.parties if not 1 <= p <= n]
+        if out_of_range:
+            return f"parties {out_of_range} out of range for n={n}"
+        if len(self.corrupted) > t:
+            return (
+                f"{self.kind} corrupts {len(self.corrupted)} parties"
+                f" but the scenario tolerates t={t}"
+            )
+        if self.kind in ("passive", "silent") and not self.parties:
+            return f"{self.kind} needs at least one corrupted party"
+        if self.kind in ("commit-echo", "sequential-copier"):
+            if len(self.parties) != 2:
+                return f"{self.kind} needs exactly copier,target"
+            copier, target = self.parties
+            if copier == target:
+                return "copier and target must differ"
+            if self.kind == "sequential-copier" and copier <= target:
+                return "the copier must be scheduled after the target (copier > target)"
+            applicable = ADVERSARIES[self.kind]
+            if applicable and protocol not in applicable:
+                return (
+                    f"{self.kind} replays {applicable}-specific message tags;"
+                    f" not applicable to {protocol!r}"
+                )
+        return None
+
+    def build(self, protocol: Any) -> Optional[Adversary]:
+        """A fresh adversary instance bound to one protocol run."""
+        if self.kind == "none":
+            return None
+        if self.kind == "passive":
+            return PassiveAdversary(corrupted=list(self.parties))
+        if self.kind == "silent":
+            return Adversary(corrupted=list(self.parties))
+        if self.kind == "commit-echo":
+            return CommitEchoAdversary(copier=self.parties[0], target=self.parties[1])
+        if self.kind == "sequential-copier":
+            return SequentialCopier(copier=self.parties[0], target=self.parties[1])
+        raise ScenarioError(f"unknown adversary kind {self.kind!r}")
+
+    def spec(self) -> str:
+        if not self.parties:
+            return self.kind
+        return self.kind + ":" + ",".join(str(p) for p in self.parties)
+
+
+#: Adversary kinds → the protocols they are restricted to (empty = any).
+#: Copy strategies replay protocol-specific message tags, so pointing them
+#: at another zoo member would silently test nothing.
+ADVERSARIES: Dict[str, Tuple[str, ...]] = {
+    "none": (),
+    "passive": (),
+    "silent": (),
+    "commit-echo": ("naive-commit-reveal",),
+    "sequential-copier": ("sequential",),
+}
+
+
+def parse_adversary(spec: str) -> AdversarySpec:
+    """Parse ``"none"`` / ``"passive:1,2"`` / ``"commit-echo:5,1"`` ..."""
+    text = str(spec).strip() or "none"
+    head, _, rest = text.partition(":")
+    head = head.lower()
+    if head not in ADVERSARIES:
+        raise ScenarioError(
+            f"unknown adversary kind {head!r}; known: {sorted(ADVERSARIES)}"
+        )
+    parties: Tuple[int, ...] = ()
+    if rest:
+        try:
+            parties = tuple(int(part) for part in rest.split(",") if part.strip())
+        except ValueError:
+            raise ScenarioError(
+                f"adversary parties must be integers, got {rest!r}"
+            ) from None
+    if head == "none" and parties:
+        raise ScenarioError("adversary 'none' takes no parties")
+    return AdversarySpec(kind=head, parties=parties)
+
+
+# -- input distributions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """A parsed input-distribution spec: a per-trial bit-vector sampler."""
+
+    kind: str
+    params: Tuple[float, ...] = ()
+
+    def sample(self, n: int, rng: random.Random) -> List[int]:
+        if self.kind == "uniform":
+            return [rng.randrange(2) for _ in range(n)]
+        if self.kind == "singleton":
+            return [int(b) for b in self.params]
+        if self.kind == "bernoulli":
+            biases = list(self.params)
+            if len(biases) == 1:
+                biases = biases * n
+            return [1 if rng.random() < bias else 0 for bias in biases]
+        raise ScenarioError(f"unknown distribution kind {self.kind!r}")
+
+    def spec(self) -> str:
+        if not self.params:
+            return self.kind
+        if self.kind == "singleton":
+            return self.kind + ":" + ",".join(str(int(p)) for p in self.params)
+        return self.kind + ":" + ",".join(repr(float(p)) for p in self.params)
+
+
+#: The distribution classes the DSL can name (mirrors the paper's D(·)
+#: hierarchy at the campaign's bit-vector granularity).
+DISTRIBUTIONS = ("uniform", "singleton", "bernoulli")
+
+
+def parse_distribution(spec: str, n: int) -> DistributionSpec:
+    """Parse ``"uniform"`` / ``"singleton:0,1,1,0,1"`` / ``"bernoulli:0.3"``."""
+    text = str(spec).strip() or "uniform"
+    head, _, rest = text.partition(":")
+    head = head.lower()
+    if head not in DISTRIBUTIONS:
+        raise ScenarioError(
+            f"unknown distribution {head!r}; known: {sorted(DISTRIBUTIONS)}"
+        )
+    if head == "uniform":
+        if rest:
+            raise ScenarioError("distribution 'uniform' takes no parameters")
+        return DistributionSpec(kind=head)
+    try:
+        params = tuple(float(part) for part in rest.split(",") if part.strip())
+    except ValueError:
+        raise ScenarioError(
+            f"distribution parameters must be numbers, got {rest!r}"
+        ) from None
+    if head == "singleton":
+        if len(params) != n or any(p not in (0.0, 1.0) for p in params):
+            raise ScenarioError(
+                f"singleton needs exactly n={n} bits, got {rest!r}"
+            )
+    if head == "bernoulli":
+        if len(params) not in (1, n):
+            raise ScenarioError(
+                f"bernoulli needs 1 or n={n} probabilities, got {len(params)}"
+            )
+        if any(not 0.0 <= p <= 1.0 for p in params):
+            raise ScenarioError(f"bernoulli probabilities must be in [0, 1], got {rest!r}")
+    return DistributionSpec(kind=head, params=params)

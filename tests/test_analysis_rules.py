@@ -369,6 +369,63 @@ class TestOBS001MetricNames:
         assert findings == []
 
 
+class TestSCN001ScenarioBypassesSchema:
+    def test_bad_direct_construction(self):
+        findings = run_rule(
+            "SCN001",
+            """
+            from repro.scenario import Scenario
+
+            def make():
+                return Scenario(protocol="bracha", n=4, t=1)
+            """,
+            module="repro.experiments.zoo",
+        )
+        assert rule_ids(findings) == ["SCN001"]
+
+    def test_bad_aliased_spec_import(self):
+        findings = run_rule(
+            "SCN001",
+            """
+            from repro.scenario.spec import Scenario as Spec
+
+            def make():
+                return Spec(protocol="sequential")
+            """,
+            module="repro.faults.helpers",
+        )
+        assert rule_ids(findings) == ["SCN001"]
+
+    def test_good_validated_entry_points(self):
+        findings = run_rule(
+            "SCN001",
+            """
+            from repro.scenario import Scenario
+
+            def make(data, path):
+                a = Scenario.from_dict(data)
+                b = Scenario.build(protocol="bracha", n=4, t=1)
+                c = Scenario.load(path)
+                return a, b, c
+            """,
+            module="repro.experiments.zoo",
+        )
+        assert findings == []
+
+    def test_good_inside_scenario_package(self):
+        findings = run_rule(
+            "SCN001",
+            """
+            from repro.scenario.spec import Scenario
+
+            def generate():
+                return Scenario(protocol="sequential")
+            """,
+            module="repro.scenario.fuzz",
+        )
+        assert findings == []
+
+
 # -- suppressions --------------------------------------------------------------------
 
 
