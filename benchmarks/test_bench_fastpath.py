@@ -4,13 +4,24 @@ Times the three hot operations the fastpath layer accelerates — Pedersen
 commit, Pedersen verify, and VSS share verification — with the kernels
 enabled (warm fixed-base tables, Horner ladder) and disabled (the plain
 ``pow``-per-term code paths), at the security levels where the speedup
-is supposed to pay for itself.  Records everything as
-``results/BENCH_fastpath.json`` and fails if any measured speedup falls
-below its budget ratio.
+is supposed to pay for itself.  A second section times the RLC batch
+verifiers (``verify_batch`` / ``verify_shares``) against per-item loops
+over the *fastpath* paths at m = :data:`BATCH` items.  Records
+everything as ``results/BENCH_fastpath.json`` — including which crypto
+``backend`` produced the numbers — and fails if any measured speedup
+falls below its budget ratio.
 
 The two legs compute bit-identical values (asserted here per operation;
 the equivalence argument lives in DESIGN.md and the property tests in
 ``tests/test_fastpath.py``) — this file only defends the *perf* claim.
+
+Batch budgets are calibrated per family: share checks (Feldman and
+Pedersen VSS) clear 3x because every per-item check pays a
+polynomial-size multi-exponentiation that the batch collapses into one;
+Pedersen *openings* are already two warm fixed-base table
+exponentiations each, so their batch sits near the 64-point multi-exp
+floor and is gated only against regression (DESIGN.md §12 quantifies
+this asymmetry).
 """
 
 import json
@@ -19,9 +30,10 @@ import random
 import time
 
 from repro import fastpath
+from repro.crypto.backend import active as active_backend
 from repro.crypto.commitment import PedersenCommitment, PedersenParameters
 from repro.crypto.group import SchnorrGroup
-from repro.crypto.vss import FeldmanVSS
+from repro.crypto.vss import FeldmanVSS, PedersenVSS
 
 SECURITY_LEVELS = (48, 64)
 #: Minimum naive/fast wall-clock ratio per operation (the perf contract).
@@ -30,6 +42,18 @@ BUDGETS = {
     "pedersen_verify": 2.0,
     "vss_verify": 2.0,
 }
+#: Minimum batched/per-item wall-clock ratio per batch family, on the
+#: pure-python reference backend (where the perf contract is pinned).
+BATCH_BUDGETS = {
+    "pedersen_openings": 1.2,
+    "feldman_shares": 3.0,
+    "pedersen_vss_shares": 3.0,
+}
+#: Budget relaxation on accelerated backends: gmpy2 shrinks the naive
+#: per-item cost too (native powmod), so the batch *ratio* legitimately
+#: compresses even as both absolute times drop.  The batch must still
+#: win, just not by the pure-python margin.
+ACCELERATED_BUDGET_FACTOR = 0.5
 BATCH = 64
 REPS = 5
 ARTIFACT = os.path.join(
@@ -86,8 +110,68 @@ def _workloads(bits):
     }
 
 
+def _time_call(fn):
+    """Min-of-REPS wall-clock (ns) for one zero-argument call."""
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter_ns()
+        fn()
+        elapsed = time.perf_counter_ns() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _batch_workloads(bits):
+    """``{family: (per_item_fn, batched_fn)}`` for m = BATCH checks.
+
+    Both legs return the full verdict list so equivalence is asserted on
+    exactly what callers consume.
+    """
+    rng = random.Random(bits * 104729)
+    group = SchnorrGroup.for_security(bits)
+    params = PedersenParameters.generate(group)
+    scheme = PedersenCommitment(params)
+    pairs = [scheme.commit(rng.randrange(group.q), rng) for _ in range(BATCH)]
+
+    feldman = FeldmanVSS(group, threshold=3, parties=BATCH)
+    feldman_dealing = feldman.deal(rng.randrange(group.q), rng)
+    feldman_shares = [feldman_dealing.shares[i] for i in range(1, BATCH + 1)]
+
+    pedersen_vss = PedersenVSS(params, threshold=3, parties=BATCH)
+    pvss_dealing = pedersen_vss.deal(rng.randrange(group.q), rng)
+    pvss_shares = [pvss_dealing.shares[i] for i in range(1, BATCH + 1)]
+
+    return {
+        "pedersen_openings": (
+            lambda: [scheme.verify(c, o) for c, o in pairs],
+            lambda: scheme.verify_batch(pairs),
+        ),
+        "feldman_shares": (
+            lambda: [
+                feldman.verify_share(feldman_dealing.commitments, share)
+                for share in feldman_shares
+            ],
+            lambda: feldman.verify_shares(
+                feldman_dealing.commitments, feldman_shares
+            ),
+        ),
+        "pedersen_vss_shares": (
+            lambda: [
+                pedersen_vss.verify_share(pvss_dealing.commitments, share)
+                for share in pvss_shares
+            ],
+            lambda: pedersen_vss.verify_shares(
+                pvss_dealing.commitments, pvss_shares
+            ),
+        ),
+    }
+
+
 def test_bench_fastpath_budgets():
     """Fastpath kernels must beat the naive paths by their budget ratios."""
+    budget_factor = 1.0 if active_backend().name == "python" else (
+        ACCELERATED_BUDGET_FACTOR
+    )
     measurements = {}
     failures = []
     for bits in SECURITY_LEVELS:
@@ -102,19 +186,45 @@ def test_bench_fastpath_budgets():
             fast_ns = _time_batch(op, batch)
             assert fast_values == naive_values, f"{name}@{bits}: values diverged"
             speedup = naive_ns / fast_ns if fast_ns else float("inf")
+            budget = round(BUDGETS[name] * budget_factor, 3)
             measurements[str(bits)][name] = {
                 "naive_ns_per_op": round(naive_ns, 1),
                 "fast_ns_per_op": round(fast_ns, 1),
                 "speedup": round(speedup, 3),
-                "budget": BUDGETS[name],
+                "budget": budget,
             }
-            if speedup < BUDGETS[name]:
+            if speedup < budget:
                 failures.append(
-                    f"{name}@{bits} bits: {speedup:.2f}x < budget {BUDGETS[name]}x"
+                    f"{name}@{bits} bits: {speedup:.2f}x < budget {budget}x"
+                )
+    batch_measurements = {}
+    for bits in SECURITY_LEVELS:
+        batch_measurements[str(bits)] = {}
+        for family, (per_item, batched) in _batch_workloads(bits).items():
+            per_item()  # warm-up: builds fixed-base tables
+            assert batched() == per_item(), f"{family}@{bits}: verdicts diverged"
+            per_item_ns = _time_call(per_item)
+            batched_ns = _time_call(batched)
+            speedup = per_item_ns / batched_ns if batched_ns else float("inf")
+            budget = round(BATCH_BUDGETS[family] * budget_factor, 3)
+            batch_measurements[str(bits)][family] = {
+                "items": BATCH,
+                "per_item_ns": per_item_ns,
+                "batched_ns": batched_ns,
+                "speedup": round(speedup, 3),
+                "budget": budget,
+            }
+            if speedup < budget:
+                failures.append(
+                    f"batch {family}@{bits} bits: {speedup:.2f}x <"
+                    f" budget {budget}x"
                 )
 
     artifact = {
+        "backend": active_backend().name,
         "batch": BATCH,
+        "batch_budgets": BATCH_BUDGETS,
+        "batch_verify": batch_measurements,
         "reps": REPS,
         "security_levels": list(SECURITY_LEVELS),
         "budgets": BUDGETS,

@@ -47,7 +47,14 @@ ENV_SEAM_ALLOWLIST: Mapping[str, str] = {
         " replay the coordinator's runtime choice"
     ),
     "repro.parallel.engine": "ships the captured environment with every shard task",
-    "repro.parallel.warmup": "worker warm-start replays the captured environment",
+    "repro.parallel.warmup": (
+        "worker warm-start replays the captured environment; the shm-table"
+        " gate only moves setup cost, never a computed value"
+    ),
+    "repro.crypto.backend": (
+        "capture_backend_env/apply_backend_env — the crypto-backend seam"
+        " itself; shards replay the coordinator's backend choice"
+    ),
 }
 
 #: DET001 — no module is allowed ambient randomness; the empty allowlist is
@@ -630,6 +637,50 @@ class ScenarioBypassesSchema(Rule):
                 )
 
 
+class ModularPowOutsideCrypto(Rule):
+    """CRY001 — modular exponentiation outside the crypto/fastpath seam.
+
+    Three-argument ``pow(base, exp, mod)`` (and raw ``gmpy2.powmod``) is
+    group arithmetic that bypasses :meth:`GroupElement.__pow__` and the
+    backend seam: it skips exponent normalization, the ``crypto.group.exp``
+    cost counter, the fixed-base table cache, *and* the configured backend
+    — so a call site outside ``repro.crypto`` / ``repro.fastpath`` silently
+    re-opens the per-callsite arithmetic the seam was built to close.
+    Protocol and experiment code must go through ``GroupElement`` (or a
+    fastpath kernel); non-group modular arithmetic opts out inline with a
+    justified ``# repro: allow[CRY001]``.
+    """
+
+    id = "CRY001"
+    severity = SEVERITY_ERROR
+    title = "modular exponentiation bypasses the crypto backend seam"
+    rationale = "pow(b, e, m) outside crypto/fastpath skips counters, tables, and the backend"
+
+    _SEAM_PREFIXES = ("repro.crypto", "repro.fastpath")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in self._SEAM_PREFIXES
+        ):
+            return
+        for call in _walk_calls(ctx.tree):
+            name = _call_name(ctx, call)
+            if name == "pow" and len(call.args) == 3 and ctx.imports.get("pow") is None:
+                yield self.finding(
+                    ctx, call,
+                    "3-argument pow() is modular exponentiation — route it"
+                    " through GroupElement.__pow__ / repro.fastpath so the"
+                    " backend seam, tables, and cost counters apply",
+                )
+            elif name in ("gmpy2.powmod", "gmpy2.invert"):
+                yield self.finding(
+                    ctx, call,
+                    f"raw {name}() outside the backend seam — only"
+                    " repro.crypto.backend may touch gmpy2 directly",
+                )
+
+
 #: The battery, in catalog order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -643,6 +694,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     EnvOutsideSeam(),
     MetricNameSanitization(),
     ScenarioBypassesSchema(),
+    ModularPowOutsideCrypto(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -22,7 +22,7 @@ def render_table(
             widths[index] = max(widths[index], len(cell))
 
     def format_row(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths, strict=True)).rstrip()
 
     lines: List[str] = []
     if title:

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Tuple
 from .. import fastpath
 from ..errors import InvalidParameterError
 from ..obs import runtime as _obs
+from . import backend as _backend
 from .field import PrimeField, is_probable_prime
 
 MIN_SECURITY_BITS = 8
@@ -112,12 +113,12 @@ class GroupElement:
             _obs.metrics.inc("crypto.group.exp")
         if fastpath.enabled():
             return GroupElement(group, fastpath.pow_mod(group.p, group.q, self.value, exp))
-        return GroupElement(group, pow(self.value, exp, group.p))
+        return GroupElement(group, int(_backend.active().powmod(self.value, exp, group.p)))
 
     def inverse(self) -> "GroupElement":
         if _obs.metrics is not None:
             _obs.metrics.inc("crypto.group.inv")
-        return GroupElement(self.group, pow(self.value, -1, self.group.p))
+        return GroupElement(self.group, _backend.active().invert(self.value, self.group.p))
 
     def __truediv__(self, other: "GroupElement") -> "GroupElement":
         return self * other.inverse()
@@ -194,7 +195,7 @@ class SchnorrGroup:
         return GroupElement(self, reduced)
 
     def is_member(self, value: int) -> bool:
-        return 0 < value < self.p and pow(value, self.q, self.p) == 1
+        return 0 < value < self.p and int(_backend.active().powmod(value, self.q, self.p)) == 1
 
     def normalize_exponent(self, exponent) -> int:
         """Reduce any exponent-like value (int, FieldElement, negative, >= q)

@@ -144,7 +144,7 @@ def lagrange_interpolate(
     if len({x.value for x in xs}) != len(xs):
         raise ShareError("duplicate x-coordinates in interpolation points")
     result = Polynomial.zero(field)
-    for i, (xi, yi) in enumerate(zip(xs, ys)):
+    for i, (xi, yi) in enumerate(zip(xs, ys, strict=True)):
         basis = Polynomial.constant(field, 1)
         denominator = field.one()
         for j, xj in enumerate(xs):

@@ -70,7 +70,7 @@ class ShamirSharing:
             self.field, [s.x for s in subset]
         )
         secret = self.field.zero()
-        for coefficient, share in zip(coefficients, subset):
+        for coefficient, share in zip(coefficients, subset, strict=True):
             secret = secret + coefficient * share.value
         return secret
 

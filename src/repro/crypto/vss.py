@@ -15,7 +15,7 @@ Both expose ``deal`` / ``verify_share`` / ``reconstruct``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .. import fastpath
 from ..errors import InvalidParameterError, ShareError
@@ -25,6 +25,11 @@ from .field import FieldElement
 from .group import GroupElement, SchnorrGroup
 from .polynomial import lagrange_coefficients_at_zero
 from .secret_sharing import ShamirSharing, Share
+
+
+#: Minimum batch size before the RLC batch-verification path kicks in;
+#: below this the per-item fastpath is at least as fast.
+BATCH_MIN_SHARES = 3
 
 
 def _expected_from_commitments(
@@ -112,6 +117,52 @@ class FeldmanVSS:
             _obs.metrics.inc("crypto.vss.shares_rejected")
         return ok
 
+    def verify_shares(
+        self, commitments: Sequence[GroupElement], shares: Sequence[Share]
+    ) -> List[bool]:
+        """Per-share verdicts, batched: one RLC multi-exp instead of m checks.
+
+        Equivalent to ``[self.verify_share(commitments, s) for s in shares]``
+        including the mirrored ``crypto.*`` counter totals — batching is a
+        cost optimization, not a semantics change.  A batch *accept* vouches
+        for every share (soundness error ~2**-COMBINER_BITS, see
+        :mod:`repro.fastpath.batch`); a batch *reject* falls back to silent
+        per-item kernel checks so the individual verdicts are exact.
+        """
+        shares = list(shares)
+        count = len(shares)
+        if (
+            count < BATCH_MIN_SHARES
+            or not fastpath.enabled()
+            or len(commitments) != self.threshold + 1
+        ):
+            return [self.verify_share(commitments, s) for s in shares]
+        group = self.group
+        generator = group.generator.value
+        commitment_values = [c.value for c in commitments]
+        values = [group.normalize_exponent(s.value.value) for s in shares]
+        xs = [s.x for s in shares]
+        if fastpath.feldman_batch_verify(
+            group.p, group.q, generator, commitment_values, xs, values
+        ):
+            verdicts = [True] * count
+        else:
+            verdicts = [
+                fastpath.pow_mod(group.p, group.q, generator, value)
+                == fastpath.vss_expected(group.p, group.q, commitment_values, x)
+                for x, value in zip(xs, values, strict=True)
+            ]
+        if _obs.metrics is not None:
+            # Mirror the naive per-share cost: threshold+2 exponentiations
+            # and threshold+1 multiplications each, plus the verdict counters.
+            _obs.metrics.inc("crypto.vss.shares_verified", count)
+            _obs.metrics.inc("crypto.group.exp", count * (self.threshold + 2))
+            _obs.metrics.inc("crypto.group.mul", count * (self.threshold + 1))
+            rejected = verdicts.count(False)
+            if rejected:
+                _obs.metrics.inc("crypto.vss.shares_rejected", rejected)
+        return verdicts
+
     def commitment_to_secret(self, commitments: Sequence[GroupElement]) -> GroupElement:
         """The implied commitment g^s to the shared secret (x = 0)."""
         if not commitments:
@@ -122,7 +173,9 @@ class FeldmanVSS:
         self, commitments: Sequence[GroupElement], shares: Iterable[Share]
     ) -> FieldElement:
         """Reconstruct from shares, discarding any that fail verification."""
-        valid = [s for s in shares if self.verify_share(commitments, s)]
+        shares = list(shares)
+        verdicts = self.verify_shares(commitments, shares)
+        valid = [s for s, ok in zip(shares, verdicts, strict=True) if ok]
         seen = {}
         for share in valid:
             seen.setdefault(share.x, share)
@@ -163,7 +216,7 @@ class PedersenVSS:
             blind_coeffs.append(self.field.zero())
         commitments = tuple(
             (self.parameters.g ** a.value) * (self.parameters.h ** b.value)
-            for a, b in zip(value_coeffs, blind_coeffs)
+            for a, b in zip(value_coeffs, blind_coeffs, strict=True)
         )
         shares = {
             i: PedersenShare(
@@ -214,10 +267,52 @@ class PedersenVSS:
             _obs.metrics.inc("crypto.vss.shares_rejected")
         return ok
 
+    def verify_shares(
+        self, commitments: Sequence[GroupElement], shares: Sequence[PedersenShare]
+    ) -> List[bool]:
+        """Per-share verdicts via RLC batching (see :meth:`FeldmanVSS.verify_shares`)."""
+        shares = list(shares)
+        count = len(shares)
+        if (
+            count < BATCH_MIN_SHARES
+            or not fastpath.enabled()
+            or len(commitments) != self.threshold + 1
+        ):
+            return [self.verify_share(commitments, s) for s in shares]
+        group = self.group
+        g = self.parameters.g.value
+        h = self.parameters.h.value
+        commitment_values = [c.value for c in commitments]
+        values = [group.normalize_exponent(s.value.value) for s in shares]
+        blindings = [group.normalize_exponent(s.blinding.value) for s in shares]
+        xs = [s.x for s in shares]
+        if fastpath.pedersen_vss_batch_verify(
+            group.p, group.q, g, h, commitment_values, xs, values, blindings
+        ):
+            verdicts = [True] * count
+        else:
+            verdicts = [
+                fastpath.pedersen_commit(group.p, group.q, g, h, value, blinding)
+                == fastpath.vss_expected(group.p, group.q, commitment_values, x)
+                for x, value, blinding in zip(xs, values, blindings, strict=True)
+            ]
+        if _obs.metrics is not None:
+            # Mirror the naive per-share cost: threshold+3 exponentiations
+            # and threshold+2 multiplications each, plus the verdict counters.
+            _obs.metrics.inc("crypto.vss.shares_verified", count)
+            _obs.metrics.inc("crypto.group.exp", count * (self.threshold + 3))
+            _obs.metrics.inc("crypto.group.mul", count * (self.threshold + 2))
+            rejected = verdicts.count(False)
+            if rejected:
+                _obs.metrics.inc("crypto.vss.shares_rejected", rejected)
+        return verdicts
+
     def reconstruct(
         self, commitments: Sequence[GroupElement], shares: Iterable[PedersenShare]
     ) -> FieldElement:
-        valid = [s for s in shares if self.verify_share(commitments, s)]
+        shares = list(shares)
+        verdicts = self.verify_shares(commitments, shares)
+        valid = [s for s, ok in zip(shares, verdicts, strict=True) if ok]
         seen = {}
         for share in valid:
             seen.setdefault(share.x, share)
@@ -229,6 +324,6 @@ class PedersenVSS:
         subset = unique[: self.threshold + 1]
         coefficients = lagrange_coefficients_at_zero(self.field, [s.x for s in subset])
         secret = self.field.zero()
-        for coefficient, share in zip(coefficients, subset):
+        for coefficient, share in zip(coefficients, subset, strict=True):
             secret = secret + coefficient * share.value
         return secret

@@ -97,7 +97,7 @@ def exact_g_gap(
     for i in corrupted:
         rates = {}
         for r in projections:
-            conditioned = distribution.conditional(dict(zip(honest, r)))
+            conditioned = distribution.conditional(dict(zip(honest, r, strict=True)))
             rates[r] = conditioned.marginal([i]).probability((1,))
         for r, s in itertools.combinations(projections, 2):
             gap = abs(rates[r] - rates[s])

@@ -161,7 +161,7 @@ class Distribution:
                 marginal_b = self.marginal(subset)
                 marginal_rest = self.marginal(rest)
                 for w in marginal_rest.support():
-                    conditioned = self.conditional(dict(zip(rest, w)))
+                    conditioned = self.conditional(dict(zip(rest, w, strict=True)))
                     conditional_b = conditioned.marginal(subset)
                     for u in itertools.product((0, 1), repeat=size):
                         gap = abs(

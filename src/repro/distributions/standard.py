@@ -48,7 +48,7 @@ def bernoulli_product(biases: Sequence[float]) -> Distribution:
     table = {}
     for vector in itertools.product((0, 1), repeat=n):
         probability = 1.0
-        for bit, bias in zip(vector, biases):
+        for bit, bias in zip(vector, biases, strict=True):
             probability *= bias if bit else (1.0 - bias)
         if probability > 0:
             table[vector] = probability

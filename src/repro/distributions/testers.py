@@ -71,7 +71,7 @@ def estimate_local_independence_gap(
                 if marginal_rest.probability(w) < min_condition_mass:
                     continue
                 conditional_b = empirical.conditional(
-                    dict(zip(rest, w))
+                    dict(zip(rest, w, strict=True))
                 ).marginal(subset)
                 for u in itertools.product((0, 1), repeat=size):
                     gap = abs(

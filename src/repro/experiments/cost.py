@@ -140,7 +140,7 @@ def run(
         (name, n, t, k, config.seed) for n in sizes for name in _ZOO_ORDER
     ]
     for (name, n, _, _, _), (record, local) in zip(
-        zoo_tasks, engine.map(_measure_zoo_task, zoo_tasks)
+        zoo_tasks, engine.map(_measure_zoo_task, zoo_tasks), strict=True
     ):
         aggregate.merge(local)
         measured.setdefault(name, {})[n] = record
@@ -161,7 +161,7 @@ def run(
     emulation_rows = []
     emulation_tasks: list = [(n, t, k, config.seed) for n in emulation_sizes]
     for (n, _, _, _), (inner, wrapped, local) in zip(
-        emulation_tasks, engine.map(_measure_emulation_task, emulation_tasks)
+        emulation_tasks, engine.map(_measure_emulation_task, emulation_tasks), strict=True
     ):
         aggregate.merge(local)
         blowup = wrapped["messages"] / max(1, inner["messages"])

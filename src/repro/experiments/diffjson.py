@@ -49,7 +49,7 @@ def _equal(a: Any, b: Any) -> bool:
     if isinstance(a, dict) and isinstance(b, dict):
         return a.keys() == b.keys() and all(_equal(a[key], b[key]) for key in a)
     if isinstance(a, list) and isinstance(b, list):
-        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b, strict=True))
     return a == b
 
 
@@ -68,7 +68,7 @@ def _describe_diff(path: str, a: Any, b: Any, diffs: List[str]) -> None:
         if len(a) != len(b):
             diffs.append(f"{path}: list lengths {len(a)} != {len(b)}")
             return
-        for index, (x, y) in enumerate(zip(a, b)):
+        for index, (x, y) in enumerate(zip(a, b, strict=True)):
             if not _equal(x, y):
                 _describe_diff(f"{path}[{index}]", x, y, diffs)
         return

@@ -174,7 +174,7 @@ def run_many(
     heavy = [e for e in experiment_ids if e in SHARDED_IDS]
     with ExperimentEngine(jobs) as engine:
         results = dict(
-            zip(light, engine.map(_run_one, [(experiment_id, config) for experiment_id in light]))
+            zip(light, engine.map(_run_one, [(experiment_id, config) for experiment_id in light]), strict=True)
         )
         for experiment_id in heavy:
             results[experiment_id] = run_experiment(

@@ -28,13 +28,23 @@ import os
 from contextlib import contextmanager
 from typing import Any, Dict
 
+from ..crypto import backend as _backend
 from . import kernels
+from .batch import (  # noqa: F401  (re-exported batch-verification API)
+    COMBINER_BITS,
+    combiner_coefficients,
+    feldman_batch_verify,
+    pedersen_batch_verify,
+    pedersen_vss_batch_verify,
+)
 from .kernels import (  # noqa: F401  (re-exported kernel API)
     STATS,
     cache_sizes,
     cached_table_keys,
     clear_caches,
     ensure_table,
+    export_tables,
+    install_table,
     lagrange_cache_get,
     lagrange_cache_put,
     multi_pow,
@@ -76,6 +86,7 @@ def stats() -> Dict[str, Any]:
     snapshot = STATS.snapshot()
     snapshot["caches"] = cache_sizes()
     snapshot["enabled"] = _ENABLED
+    snapshot["backend"] = _backend.active().name
     return snapshot
 
 

@@ -36,12 +36,19 @@ Telemetry lives in a dedicated process-local registry (``STATS``, a
 (a pool worker's caches are colder than the coordinator's), so recording
 them into the ambient deterministic registry would break the
 serial-vs-parallel artifact equality that CI gates on.
+
+Backend seam: every primitive routes through the process-global
+:mod:`repro.crypto.backend` (pure-python reference by default, gmpy2
+when available).  Table entries and ladder accumulators are held in the
+backend's native big-int type; every kernel unwraps to ``int`` at its
+return boundary, so the two backends are observationally identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
+from ..crypto import backend as _backend
 from ..obs import Metrics
 
 #: Process-local fastpath telemetry (fastpath.* counters).  Deliberately
@@ -73,6 +80,38 @@ def clear_caches() -> None:
     _LAGRANGE.clear()
 
 
+def install_table(p: int, base: int, rows: Sequence[Sequence[int]]) -> bool:
+    """Adopt a prebuilt fixed-base table (shared-memory warm start).
+
+    Rows come as plain ``int`` lists (the portable export format) and are
+    wrapped into the active backend's native type on the way in.  Returns
+    ``False`` without touching anything when the table is already
+    resident or the cache is full — a fork-inherited table wins over a
+    replayed one.
+    """
+    key = (p, base % p)
+    if key in _TABLES or len(_TABLES) >= MAX_TABLES:
+        return False
+    wrap = _backend.active().wrap
+    _TABLES[key] = [[wrap(value) for value in row] for row in rows]
+    _USE_COUNTS.pop(key, None)
+    STATS.inc("fastpath.table.installs")
+    return True
+
+
+def export_tables() -> Dict[Tuple[int, int], List[List[int]]]:
+    """Every resident table as plain ``int`` rows (the portable format).
+
+    The inverse of :func:`install_table`: backend-native entries (gmpy2
+    ``mpz``) are unwrapped so the payload pickles small and installs
+    under *any* backend.
+    """
+    return {
+        key: [[int(value) for value in row] for row in rows]
+        for key, rows in _TABLES.items()
+    }
+
+
 def cache_sizes() -> Dict[str, int]:
     return {
         "tables": len(_TABLES),
@@ -84,15 +123,21 @@ def cache_sizes() -> Dict[str, int]:
 # -- fixed-base windowed exponentiation ---------------------------------------------
 
 
-def _build_table(p: int, base: int, exponent_bits: int) -> List[List[int]]:
-    """Rows of ``base ** (d << (WINDOW * i)) mod p`` for all digits d."""
+def _build_table(p: int, base: int, exponent_bits: int) -> List[List[Any]]:
+    """Rows of ``base ** (d << (WINDOW * i)) mod p`` for all digits d.
+
+    Entries are backend-native (``int`` or ``mpz``) so the hot ladder in
+    :func:`pow_mod` multiplies in the backend's arithmetic throughout.
+    """
     size = 1 << WINDOW
     digits = (exponent_bits + WINDOW - 1) // WINDOW
-    table: List[List[int]] = []
-    b = base % p
+    table: List[List[Any]] = []
+    wrap = _backend.active().wrap
+    one = wrap(1)
+    b = wrap(base % p)
     for _ in range(digits):
-        row = [1] * size
-        acc = 1
+        row = [one] * size
+        acc = one
         for d in range(1, size):
             acc = acc * b % p
             row[d] = acc
@@ -133,7 +178,7 @@ def pow_mod(p: int, q: int, base: int, exponent: int) -> int:
             if len(_USE_COUNTS) > 4 * MAX_TABLES:
                 _USE_COUNTS.clear()
             _USE_COUNTS[key] = count
-            return pow(base, exponent, p)
+            return int(_backend.active().powmod(base, exponent, p))
     else:
         STATS.inc("fastpath.pow.table_hits")
     acc = 1
@@ -145,7 +190,7 @@ def pow_mod(p: int, q: int, base: int, exponent: int) -> int:
             acc = acc * table[i][digit] % p
         exponent >>= WINDOW
         i += 1
-    return acc
+    return int(acc)
 
 
 # -- simultaneous multi-exponentiation (Shamir's trick) -----------------------------
@@ -154,46 +199,89 @@ def pow_mod(p: int, q: int, base: int, exponent: int) -> int:
 #: (the table has ``2**k - 1`` entries).
 _MAX_SUBSET_BASES = 4
 
+#: Digit-window width for the many-base bucket multi-exp.  4 bits is the
+#: measured sweet spot for 64-point batches at simulation-grade moduli:
+#: wider windows pay quadratically more bucket-aggregation
+#: multiplications, narrower ones pay more windows of digit bookkeeping.
+_BUCKET_WINDOW = 4
+
+
+def _bucket_multi_pow(p: int, pairs: Sequence[Tuple[int, int]], wrap) -> int:
+    """Yao's bucket method over ``pairs`` of ``(base, exponent)``.
+
+    For each :data:`_BUCKET_WINDOW`-bit digit window (most significant
+    first) every base is multiplied into the bucket named by its digit;
+    the window's contribution ``prod_d bucket[d]**d`` falls out of a
+    running suffix product, and successive windows are glued with
+    ``_BUCKET_WINDOW`` squarings.
+    """
+    width = _BUCKET_WINDOW
+    digit_mask = (1 << width) - 1
+    top = ((max(e.bit_length() for _, e in pairs) - 1) // width) * width
+    one = wrap(1)
+    acc = one
+    for shift in range(top, -width, -width):
+        if shift != top:
+            for _ in range(width):
+                acc = acc * acc % p
+        buckets = [one] * (digit_mask + 1)
+        for base, exponent in pairs:
+            digit = (exponent >> shift) & digit_mask
+            if digit:
+                buckets[digit] = buckets[digit] * base % p
+        suffix = one
+        window = one
+        for digit in range(digit_mask, 0, -1):
+            suffix = suffix * buckets[digit] % p
+            window = window * suffix % p
+        acc = acc * window % p
+    return int(acc)
+
 
 def multi_pow(p: int, bases: Sequence[int], exponents: Sequence[int]) -> int:
-    """``prod_i bases[i] ** exponents[i] mod p`` with one shared ladder.
+    """``prod_i bases[i] ** exponents[i] mod p`` — exactly, two strategies.
 
-    Exact for arbitrary integer bases and non-negative exponents.
+    Exact for arbitrary integer bases and non-negative exponents.  Up to
+    :data:`_MAX_SUBSET_BASES` bases use Shamir's trick: one subset-product
+    table and a single shared square-and-multiply ladder.  Larger batches
+    (the RLC batch-verification path: many bases, short combiner
+    exponents) use Yao's bucket method with :data:`_BUCKET_WINDOW`-bit
+    digit windows — per window every base lands in one digit bucket (one
+    multiplication), the 15 buckets aggregate with a running suffix
+    product, and only the window boundaries pay squarings.  The digit
+    bookkeeping is O(bases · windows) interpreter operations, an order
+    less than any per-bit shared ladder over the same batch.
     """
     if len(bases) != len(exponents):
         raise ValueError("bases and exponents must have equal length")
     STATS.inc("fastpath.multiexp.calls")
-    pairs = [(b % p, e) for b, e in zip(bases, exponents) if e > 0]
+    backend = _backend.active()
+    pairs = [(b % p, e) for b, e in zip(bases, exponents, strict=True) if e > 0]
     if not pairs:
         return 1 % p
-    max_bits = max(e.bit_length() for _, e in pairs)
-    if len(pairs) <= _MAX_SUBSET_BASES:
-        # Precompute the product of every base subset; each ladder step is
-        # one squaring plus at most one multiplication.
-        k = len(pairs)
-        products = [1] * (1 << k)
-        for i, (b, _) in enumerate(pairs):
-            bit = 1 << i
-            for mask in range(bit):
-                products[bit | mask] = products[mask] * b % p
-        exps = [e for _, e in pairs]
-        acc = 1
-        for bit in range(max_bits - 1, -1, -1):
-            acc = acc * acc % p
-            mask = 0
-            for i in range(k):
-                if (exps[i] >> bit) & 1:
-                    mask |= 1 << i
-            if mask:
-                acc = acc * products[mask] % p
-        return acc
-    acc = 1
-    for bit in range(max_bits - 1, -1, -1):
+    wrap = backend.wrap
+    if len(pairs) > _MAX_SUBSET_BASES:
+        return _bucket_multi_pow(p, pairs, wrap)
+    k = len(pairs)
+    # Product of every base subset; each ladder step then costs at most
+    # one multiplication on top of the shared squaring.
+    products: List[Any] = [1] * (1 << k)
+    for i, (b, _) in enumerate(pairs):
+        bit = 1 << i
+        wrapped = wrap(b)
+        for mask in range(bit):
+            products[bit | mask] = products[mask] * wrapped % p
+    exps = [e for _, e in pairs]
+    acc = wrap(1)
+    for bit in range(max(e.bit_length() for e in exps) - 1, -1, -1):
         acc = acc * acc % p
-        for b, e in pairs:
+        mask = 0
+        for i, e in enumerate(exps):
             if (e >> bit) & 1:
-                acc = acc * b % p
-    return acc
+                mask |= 1 << i
+        if mask:
+            acc = acc * products[mask] % p
+    return int(acc)
 
 
 # -- VSS share-check product --------------------------------------------------------
@@ -219,10 +307,11 @@ def vss_expected(p: int, q: int, commitment_values: Sequence[int], x: int) -> in
         # x**degree < q, so every naive exponent x**j mod q == x**j and the
         # product telescopes via Horner's rule in the exponent.
         STATS.inc("fastpath.vss.horner")
-        acc = values[degree]
+        backend = _backend.active()
+        acc = backend.wrap(values[degree])
         for value in reversed(values[:degree]):
-            acc = pow(acc, x, p) * value % p
-        return acc
+            acc = backend.powmod(acc, x, p) * value % p
+        return int(acc)
     STATS.inc("fastpath.vss.ladder")
     exponents = []
     x_power = 1

@@ -27,10 +27,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import fastpath
+from ..crypto.backend import apply_backend_env, capture_backend_env
 from ..net.runtime import apply_runtime_env, capture_runtime_env
 from ..obs import Metrics, Tracer, flightrec as _flightrec
 from ..obs import runtime as _obs_runtime
-from . import warmup
+from . import shm, warmup
 
 
 def default_jobs() -> int:
@@ -63,10 +65,14 @@ def _run_shard(
     task: Tuple[Callable[..., Any], Tuple[Any, ...], bool, bool, Dict[str, str]]
 ) -> ShardOutcome:
     """Worker entry point: run one task under a fresh observation scope."""
-    fn, args, trace, flight, runtime_env = task
-    # Shards must resolve the same network runtime the coordinator would:
-    # explicit under fork, essential under spawn (fresh environment).
-    apply_runtime_env(runtime_env)
+    fn, args, trace, flight, shard_env = task
+    # Shards must resolve the same network runtime and crypto backend the
+    # coordinator would: explicit under fork, essential under spawn (fresh
+    # environment).  The backend is outside the determinism contract but
+    # inside the telemetry contract — a worker must describe the same
+    # configuration the coordinator ran.
+    apply_runtime_env(shard_env)
+    apply_backend_env(shard_env)
     tracer = Tracer() if trace else None
     flight_records: List[Dict[str, Any]] = []
     with _obs_runtime.observed(tracer=tracer, metrics=Metrics()) as (_, metrics):
@@ -114,13 +120,22 @@ class ExperimentEngine:
     def __init__(self, jobs: Any = None):
         self.jobs = normalize_jobs(jobs)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._shm_tables: Optional[shm.PublishedTables] = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            payload = warmup.export_warm_state()
+            if warmup.shm_tables_enabled():
+                # Ship table *contents* once via shared memory so workers
+                # attach instead of rebuilding; the payload's key list
+                # stays as the rebuild fallback.
+                self._shm_tables = shm.publish_tables(fastpath.export_tables())
+                if self._shm_tables is not None:
+                    payload["shm_tables"] = self._shm_tables.descriptor()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_warm_worker,
-                initargs=(warmup.export_warm_state(),),
+                initargs=(payload,),
             )
         return self._pool
 
@@ -129,6 +144,8 @@ class ExperimentEngine:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        published, self._shm_tables = self._shm_tables, None
+        shm.release_tables(published)
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -153,9 +170,9 @@ class ExperimentEngine:
 
         trace = _obs_runtime.tracer.enabled
         flight = _obs_runtime.flightrec is not None
-        runtime_env = capture_runtime_env()
+        shard_env = {**capture_runtime_env(), **capture_backend_env()}
         shard_tasks = [
-            (fn, tuple(args), trace, flight, runtime_env) for args in tasks
+            (fn, tuple(args), trace, flight, shard_env) for args in tasks
         ]
         outcomes = list(self._ensure_pool().map(_run_shard, shard_tasks))
 

@@ -1,0 +1,106 @@
+"""Shared-memory transport for warm fixed-base tables.
+
+The warm-start payload (:mod:`repro.parallel.warmup`) used to ship only
+table *keys*: each pool worker then rebuilt every table from scratch —
+hundreds of modular multiplications per ``(p, base)`` pair, per worker,
+under ``spawn`` or whenever fork inheritance missed a table.  This
+module moves the table *contents* instead, once: the coordinator pickles
+its resident tables into one :class:`multiprocessing.shared_memory`
+segment at pool creation, and every worker attaches and adopts the rows
+(:func:`repro.fastpath.kernels.install_table`) instead of rebuilding.
+
+Lifecycle: the engine publishes on pool creation, keeps the handle, and
+unlinks on :meth:`repro.parallel.engine.ExperimentEngine.close` (an
+``atexit`` sweep covers engines abandoned without closing).  Workers
+only ever attach-read-close — never unlink.  Every failure mode
+(platform without shm, size limits, torn segment) degrades to the
+rebuild path: shm is a transport optimization, never a correctness
+dependency, and the adopted rows are the exact integers the worker would
+have rebuilt.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised only on platforms without shm support
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+TableRows = Dict[Tuple[int, int], List[List[int]]]
+
+
+@dataclass
+class PublishedTables:
+    """A live shm segment holding pickled tables (coordinator-side handle)."""
+
+    segment: Any
+    size: int
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    def descriptor(self) -> Dict[str, Any]:
+        """The picklable attach info shipped inside the warm-state payload."""
+        return {"name": self.segment.name, "size": self.size}
+
+
+#: Every segment this process published and has not yet released, so an
+#: abandoned engine cannot leak shared memory past interpreter exit.
+_PUBLISHED: List[PublishedTables] = []
+
+
+def publish_tables(tables: TableRows) -> Optional[PublishedTables]:
+    """Pickle ``tables`` into a fresh shm segment (None on any failure)."""
+    if _shared_memory is None or not tables:
+        return None
+    data = pickle.dumps(tables, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=len(data))
+        segment.buf[: len(data)] = data
+    except (OSError, ValueError):
+        return None
+    published = PublishedTables(segment=segment, size=len(data))
+    _PUBLISHED.append(published)
+    return published
+
+
+def attach_tables(descriptor: Any) -> Optional[TableRows]:
+    """Read a published table dict in a worker (None on any failure)."""
+    if _shared_memory is None or not isinstance(descriptor, dict):
+        return None
+    try:
+        segment = _shared_memory.SharedMemory(name=str(descriptor["name"]))
+    except (KeyError, OSError, ValueError):
+        return None
+    try:
+        tables = pickle.loads(bytes(segment.buf[: int(descriptor["size"])]))
+    except Exception:
+        return None
+    finally:
+        segment.close()
+    return tables if isinstance(tables, dict) else None
+
+
+def release_tables(published: Optional[PublishedTables]) -> None:
+    """Close and unlink a published segment (idempotent, never raises)."""
+    if published is None:
+        return
+    if published in _PUBLISHED:
+        _PUBLISHED.remove(published)
+    for action in (published.segment.close, published.segment.unlink):
+        try:
+            action()
+        except (OSError, ValueError):
+            pass
+
+
+@atexit.register
+def _release_all() -> None:  # pragma: no cover - interpreter-exit sweep
+    for published in list(_PUBLISHED):
+        release_tables(published)

@@ -16,9 +16,10 @@ distribution classes × adversary strategies × fault plans × runtimes ×
 delay/omission models × ``(n, t)`` corners, with the weights biased
 toward the boundaries where the paper's claims live (corruption
 fractions at the resilience bound, non-degenerate network timing).
-Heavy-crypto zoo members (cgma, chor-rabin, gennaro) are registry-valid
-but excluded from the default pool so thousand-scenario campaigns stay
-minutes, not hours; point explicit scenario files at them instead.
+Heavy-crypto zoo members (cgma, chor-rabin, gennaro) ride in the default
+pool at low weight — affordable since the crypto layer grew batch
+verification and shared warm tables (ROADMAP item 2); their ``(n, t)``
+draws respect each member's resilience bound via the registry specs.
 """
 
 from __future__ import annotations
@@ -33,8 +34,9 @@ from .spec import Scenario
 #: idiom as ExperimentConfig.rng / FaultPlan.injector_seed).
 _SEED_MIX = 1_000_003
 
-#: The default fuzz pool: every cheap zoo member, weighted so the
-#: known-dirty members (the fuzzer's positive controls) stay frequent.
+#: The default fuzz pool: the whole zoo, weighted so the known-dirty
+#: members (the fuzzer's positive controls) stay frequent and the
+#: heavy-crypto members stay a bounded fraction of the budget.
 PROTOCOL_POOL: Tuple[Tuple[str, int], ...] = (
     ("sequential", 3),
     ("ideal-sb", 3),
@@ -42,6 +44,9 @@ PROTOCOL_POOL: Tuple[Tuple[str, int], ...] = (
     ("pi-g", 2),
     ("bracha", 3),
     ("phase-king", 2),
+    ("cgma", 1),
+    ("chor-rabin", 1),
+    ("gennaro", 1),
 )
 
 #: Fault probabilities the rule sampler draws from — boundary-heavy.
@@ -75,6 +80,14 @@ def _sample_parameters(rng: random.Random, protocol: str) -> Tuple[int, int]:
     elif protocol == "bracha":
         n = rng.randrange(4, 8)
         t_max = (n - 1) // 3
+    elif protocol in ("cgma", "chor-rabin"):
+        # Honest-majority members; keep n small — every trial pays VSS
+        # dealings for all n parties even with batch verification.
+        n = rng.randrange(3, 6)
+        t_max = (n - 1) // 2
+    elif protocol == "gennaro":
+        n = rng.randrange(3, 6)
+        t_max = n - 1
     else:
         n = rng.randrange(3, 7)
         t_max = n - 1

@@ -97,16 +97,19 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
             key="cgma",
             build=lambda n, t, k, sender: CGMABroadcast(n, t, security_bits=k),
             independent=True,
+            resilience=_needs(2, "CGMA"),
         ),
         ProtocolSpec(
             key="chor-rabin",
             build=lambda n, t, k, sender: ChorRabinBroadcast(n, t, security_bits=k),
             independent=True,
+            resilience=_needs(2, "Chor-Rabin"),
         ),
         ProtocolSpec(
             key="gennaro",
             build=lambda n, t, k, sender: GennaroBroadcast(n, t, security_bits=k),
             independent=True,
+            resilience=_needs(1, "Gennaro"),
         ),
         ProtocolSpec(
             key="bracha",

@@ -426,6 +426,74 @@ class TestSCN001ScenarioBypassesSchema:
         assert findings == []
 
 
+class TestCRY001ModularPowOutsideCrypto:
+    def test_bad_three_arg_pow_in_protocol_code(self):
+        findings = run_rule(
+            "CRY001",
+            """
+            def check_commitment(c, g, m, p):
+                return c == pow(g, m, p)
+            """,
+            module="repro.protocols.gennaro",
+        )
+        assert rule_ids(findings) == ["CRY001"]
+
+    def test_bad_raw_gmpy2_powmod(self):
+        findings = run_rule(
+            "CRY001",
+            """
+            import gmpy2
+
+            def fast(b, e, m):
+                return gmpy2.powmod(b, e, m)
+            """,
+            module="repro.experiments.cost",
+        )
+        assert rule_ids(findings) == ["CRY001"]
+
+    def test_good_two_arg_pow_is_not_modular(self):
+        findings = run_rule(
+            "CRY001",
+            """
+            def square(x):
+                return pow(x, 2)
+            """,
+            module="repro.distributions.base",
+        )
+        assert findings == []
+
+    def test_good_inside_the_seam(self):
+        findings = run_rule(
+            "CRY001",
+            """
+            def kernel(b, e, m):
+                return pow(b, e, m)
+            """,
+            module="repro.fastpath.kernels",
+        )
+        assert findings == []
+        findings = run_rule(
+            "CRY001",
+            """
+            def kernel(b, e, m):
+                return pow(b, e, m)
+            """,
+            module="repro.crypto.backend",
+        )
+        assert findings == []
+
+    def test_allow_comment_suppresses(self):
+        findings = run_rule(
+            "CRY001",
+            """
+            def crt_step(a, n, m):
+                return pow(a, n, m)  # repro: allow[CRY001] non-group CRT arithmetic
+            """,
+            module="repro.analysis.helpers",
+        )
+        assert findings == []
+
+
 # -- suppressions --------------------------------------------------------------------
 
 

@@ -121,7 +121,7 @@ class TestInterpolation:
         xs = [1, 2, 3, 4, 5]
         lambdas = lagrange_coefficients_at_zero(F, xs)
         total = F.zero()
-        for lam, x in zip(lambdas, xs):
+        for lam, x in zip(lambdas, xs, strict=True):
             total = total + lam * poly(x)
         assert total == poly(0)
 

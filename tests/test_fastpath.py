@@ -85,7 +85,7 @@ def test_multi_pow_matches_product_of_pows(bits, pairs):
     bases = [b % group.p or 2 for b, _ in pairs]
     exponents = [e % group.q for _, e in pairs]
     expected = 1
-    for base, exponent in zip(bases, exponents):
+    for base, exponent in zip(bases, exponents, strict=True):
         expected = (expected * pow(base, exponent, group.p)) % group.p
     assert fastpath.multi_pow(group.p, bases, exponents) == expected
 

@@ -135,7 +135,7 @@ class TestGCircuit:
                             return self.bit
 
                     expected = g_reference(
-                        list(zip(xs, b_mask)), FixedCoin(coin)
+                        list(zip(xs, b_mask, strict=True)), FixedCoin(coin)
                     )
                     got = tuple(
                         int(v) for v in circuit.evaluate(inputs)

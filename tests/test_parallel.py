@@ -221,7 +221,7 @@ class TestSerialParallelEquality:
         serial = run_many(ids, config, jobs=1)
         parallel = run_many(ids, config, jobs=2)
         assert [r.experiment_id for r in parallel] == ids
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert _stripped(a) == _stripped(b)
 
 
